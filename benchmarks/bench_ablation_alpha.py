@@ -1,0 +1,14 @@
+"""Ablation: the S2 dimensionality alpha (paper compares 3 vs 6)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_alpha
+
+
+def test_ablation_alpha(benchmark, scale):
+    rows = run_once(benchmark, run_ablation_alpha, scale=scale)
+    by_alpha = {int(row.value): row for row in rows}
+    # Higher alpha preserves distances better: precision non-decreasing.
+    assert by_alpha[6].precision >= by_alpha[2].precision - 0.02
+    for row in rows:
+        assert row.precision > 0.85

@@ -1,0 +1,12 @@
+"""Ablation: the overlap-cost height weight beta (Section IV-B1)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_beta
+
+
+def test_ablation_beta(benchmark, scale):
+    rows = run_once(benchmark, run_ablation_beta, scale=scale)
+    # beta changes split choices, not correctness: precision stays high.
+    for row in rows:
+        assert row.precision >= 0.95

@@ -1,0 +1,19 @@
+"""Ablation: Algorithm 3's radius inflation epsilon.
+
+Theorems 2-3 in numbers: a larger epsilon raises recall (precision vs
+the exhaustive truth) and raises work; a very small epsilon loses
+results.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_epsilon
+
+
+def test_ablation_epsilon(benchmark, scale):
+    rows = run_once(benchmark, run_ablation_epsilon, scale=scale)
+    by_eps = {row.value: row for row in rows}
+    # Precision is non-decreasing in epsilon (modulo small noise).
+    assert by_eps[2.0].precision >= by_eps[0.1].precision
+    # Generous epsilon reaches the paper's accuracy levels.
+    assert by_eps[1.0].precision >= 0.97

@@ -1,0 +1,14 @@
+"""Ablation: leaf capacity N (the page-size knob of the cost model)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_ablation_leaf_capacity
+
+
+def test_ablation_leaf_capacity(benchmark, scale):
+    rows = run_once(benchmark, run_ablation_leaf_capacity, scale=scale)
+    # Bigger leaves mean fewer splits.
+    splits = {int(row.value): row.splits for row in rows}
+    assert splits[128] <= splits[16]
+    for row in rows:
+        assert row.precision >= 0.95

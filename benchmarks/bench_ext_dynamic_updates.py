@@ -1,0 +1,15 @@
+"""Extension: dynamic update throughput and post-update accuracy
+(the paper's future work, implemented in repro.dynamic)."""
+
+from conftest import run_once
+
+from repro.bench.extensions import run_dynamic_updates
+
+
+def test_dynamic_updates(benchmark, scale):
+    rows = run_once(benchmark, run_dynamic_updates, scale=min(scale, 0.5))
+    before, after = rows
+    assert after.updates_per_second > 5  # interactive update rates
+    # Queries stay accurate through the update burst.
+    assert after.precision_after >= before.precision_after - 0.1
+    assert after.precision_after >= 0.85

@@ -1,0 +1,17 @@
+"""Extension: TransE vs TransA vs TransH link prediction quality,
+motivating TransE-family models as the prediction algorithm A."""
+
+from conftest import run_once
+
+from repro.bench.extensions import run_embedding_quality
+
+
+def test_embedding_quality(benchmark, scale):
+    rows = run_once(benchmark, run_embedding_quality, scale=min(scale, 0.5))
+    by_model = {r.model: r for r in rows}
+    assert set(by_model) == {"transe", "transa", "transh"}
+    for row in rows:
+        # Every model beats random ranking (~half the entity count;
+        # these datasets have 500-1000 entities).
+        assert row.mean_rank < 200
+        assert row.hits_at_10 > 0.05

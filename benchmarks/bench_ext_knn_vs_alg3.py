@@ -1,0 +1,22 @@
+"""Extension: the paper's Algorithm 3 vs classic best-first kNN.
+
+Expected shape: Algorithm 3's radius-inflated region recovers near-
+perfect precision through the alpha=3 projection; best-first kNN with
+S1 re-ranking is cheaper per query but substantially less accurate at
+practical oversampling levels — the justification for the paper's
+region-based query algorithm.
+"""
+
+from conftest import run_once
+
+from repro.bench.extensions import run_knn_vs_alg3
+
+
+def test_knn_vs_alg3(benchmark, scale):
+    rows = run_once(benchmark, run_knn_vs_alg3, scale=scale)
+    by_method = {r.method: r for r in rows}
+    alg3 = by_method["alg3 (eps=0.5)"]
+    assert alg3.precision >= 0.95
+    # kNN precision rises with oversampling but stays below Algorithm 3.
+    assert by_method["knn x2"].precision <= by_method["knn x8"].precision
+    assert by_method["knn x8"].precision < alg3.precision

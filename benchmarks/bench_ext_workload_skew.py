@@ -1,0 +1,20 @@
+"""Extension: cracked index size vs workload diversity.
+
+Expected shape: the narrower the workload (fewer distinct queries), the
+smaller the fraction of the bulk-loaded index the cracking tree
+materialises — the paper's core justification for cracking.
+"""
+
+from conftest import run_once
+
+from repro.bench.extensions import run_workload_skew
+
+
+def test_workload_skew(benchmark, scale):
+    rows = run_once(benchmark, run_workload_skew, scale=scale)
+    nodes = [r.crack_nodes for r in rows]
+    assert nodes == sorted(nodes)  # more diversity -> more nodes
+    for row in rows:
+        assert row.crack_nodes < row.bulk_nodes
+    # A two-query workload cracks far less than a fully diverse one.
+    assert rows[0].crack_nodes < 0.8 * rows[-1].crack_nodes

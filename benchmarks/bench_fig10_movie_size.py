@@ -1,0 +1,14 @@
+"""Figure 10: index byte size, cracking vs bulk (movie-like)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig10
+
+
+def test_fig10(benchmark, scale):
+    rows = run_once(benchmark, run_fig10, scale=scale)
+    final = rows[-1]
+    assert final.crack_bytes < final.bulk_bytes
+    sizes = [r.crack_bytes for r in rows]
+    assert sizes == sorted(sizes)  # grows monotonically with queries
+    assert rows[-1].crack_bytes <= rows[-2].crack_bytes * 1.3  # converged

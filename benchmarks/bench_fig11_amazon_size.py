@@ -1,0 +1,13 @@
+"""Figure 11: index byte size, cracking vs bulk (amazon-like)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig11
+
+
+def test_fig11(benchmark, scale):
+    rows = run_once(benchmark, run_fig11, scale=scale)
+    final = rows[-1]
+    assert final.crack_bytes < final.bulk_bytes
+    sizes = [r.crack_bytes for r in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,20 @@
+"""Figure 12: COUNT query accuracy vs sample size (Freebase-like).
+
+Expected shape (paper): accuracy rises with the number of accessed data
+points and reaches ~1 at full access, with early samples already useful
+because they carry the highest probabilities.
+"""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig12
+
+
+def test_fig12(benchmark, scale):
+    rows = run_once(benchmark, run_fig12, scale=scale)
+    assert rows[-1].mean_accuracy >= 0.99  # full access is the reference
+    assert rows[-1].mean_accuracy >= rows[0].mean_accuracy
+    accessed = [r.mean_accessed for r in rows]
+    assert accessed == sorted(accessed)
+    # Even the smallest sample is already informative.
+    assert rows[0].mean_accuracy > 0.5

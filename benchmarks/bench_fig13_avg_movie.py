@@ -1,0 +1,13 @@
+"""Figure 13: AVG(year) query accuracy vs sample size (movie-like)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig13
+
+
+def test_fig13(benchmark, scale):
+    rows = run_once(benchmark, run_fig13, scale=scale)
+    assert rows[-1].mean_accuracy >= 0.99
+    # AVG is a ratio estimator: already accurate from small samples
+    # (the paper's "accuracy stays at a high level" observation).
+    assert rows[0].mean_accuracy > 0.9

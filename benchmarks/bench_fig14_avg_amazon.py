@@ -1,0 +1,18 @@
+"""Figure 14: AVG(quality) query accuracy vs sample size (amazon-like).
+
+The paper notes the larger Amazon dataset takes slightly longer to reach
+high accuracy than the movie dataset; the curve shape is the same.
+"""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig14
+
+
+def test_fig14(benchmark, scale):
+    rows = run_once(benchmark, run_fig14, scale=scale)
+    assert rows[-1].mean_accuracy >= 0.99
+    assert rows[0].mean_accuracy > 0.7
+    accuracies = [r.mean_accuracy for r in rows]
+    # Broadly increasing (allow small non-monotonic noise).
+    assert accuracies[-1] >= accuracies[0]

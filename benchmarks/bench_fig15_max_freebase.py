@@ -1,0 +1,11 @@
+"""Figure 15: MAX(popularity) query accuracy vs sample size (Freebase-like)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig15
+
+
+def test_fig15(benchmark, scale):
+    rows = run_once(benchmark, run_fig15, scale=scale)
+    assert rows[-1].mean_accuracy >= 0.95
+    assert rows[-1].mean_accuracy >= rows[0].mean_accuracy - 0.05

@@ -1,0 +1,11 @@
+"""Figure 16: MIN(year) query accuracy vs sample size (movie-like)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig16
+
+
+def test_fig16(benchmark, scale):
+    rows = run_once(benchmark, run_fig16, scale=scale)
+    assert rows[-1].mean_accuracy >= 0.95
+    assert rows[0].mean_accuracy > 0.5

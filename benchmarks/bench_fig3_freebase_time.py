@@ -1,0 +1,33 @@
+"""Figure 3: method vs elapsed time on the Freebase-like dataset.
+
+Expected shape (paper, Section VI): only PH-tree and bulk-loading pay an
+offline build; the cracking indices start cold with an expensive (but
+far cheaper than a full bulk load) first query and converge within a few
+queries to a steady state at or below the bulk-loaded index; PH-tree
+queries are slow at d=50; no-index pays the full scan every query.
+"""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig3
+
+
+def test_fig3(benchmark, scale):
+    rows = run_once(benchmark, run_fig3, scale=scale)
+    timing = {r.method: r for r in rows}
+
+    # Offline build: only ph-tree and bulk pay one.
+    assert timing["bulk"].build_seconds > 10 * timing["crack"].build_seconds
+    assert timing["ph-tree"].build_seconds > 10 * timing["crack"].build_seconds
+
+    # Cracking warm-up: the first query is the expensive one, but still
+    # cheaper than a full offline bulk load.
+    crack = timing["crack"]
+    assert crack.probe_seconds[1] < timing["bulk"].build_seconds
+    assert crack.warm_avg_seconds < crack.probe_seconds[1]
+
+    # Steady state: every R-tree variant beats the no-index scan, and
+    # PH-tree does not (it degrades toward / below scan speed at d=50).
+    for name in ("bulk", "crack", "topk2", "topk4"):
+        assert timing[name].warm_avg_seconds < timing["no-index"].warm_avg_seconds
+    assert timing["ph-tree"].warm_avg_seconds > timing["bulk"].warm_avg_seconds

@@ -1,0 +1,15 @@
+"""Figure 4: precision@K of every index method against the no-index
+ground truth on the Freebase-like dataset (paper: at least 0.97)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig4
+
+
+def test_fig4(benchmark, scale):
+    rows = run_once(benchmark, run_fig4, scale=scale)
+    by_method = {r.method: r.precision for r in rows}
+    for name in ("bulk", "crack", "topk2", "topk4"):
+        assert by_method[name] >= 0.95, f"{name} precision {by_method[name]}"
+    # PH-tree indexes S1 exactly, so it is lossless by construction.
+    assert by_method["ph-tree"] >= 0.99

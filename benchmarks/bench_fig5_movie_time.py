@@ -1,0 +1,30 @@
+"""Figure 5: movie dataset timings — alpha=3 vs alpha=6 and H2-ALSH.
+
+Expected shape (paper): alpha=6 costs more to build and query than
+alpha=3 (higher-dimensional R-trees overlap more); H2-ALSH's query
+processing is much slower than the R-tree variants even though its
+build is comparable.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.runners import run_fig5
+
+
+def test_fig5(benchmark, scale):
+    rows = run_once(benchmark, run_fig5, scale=scale)
+    by_method = {r.method: r for r in rows}
+
+    # alpha=6 bulk build is costlier than alpha=3 bulk build.
+    assert (
+        by_method["bulk(a=6)"].build_seconds
+        >= 0.8 * by_method["bulk"].build_seconds
+    )
+
+    # H2-ALSH query processing is slower than our cracking index.
+    crack_warm = by_method["crack"].warm_avg_seconds
+    assert by_method["h2-alsh"].warm_avg_seconds > crack_warm
+
+    # H2-ALSH pays an offline (MF + hashing) build like bulk loading.
+    assert by_method["h2-alsh"].build_seconds > by_method["crack"].build_seconds

@@ -1,0 +1,16 @@
+"""Figure 6: precision@K on the movie dataset (paper: all methods at
+least 0.945; ours slightly more accurate than H2-ALSH; alpha=6 at least
+as accurate as alpha=3)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig6
+
+
+def test_fig6(benchmark, scale):
+    rows = run_once(benchmark, run_fig6, scale=scale)
+    by_method = {r.method: r.precision for r in rows}
+    for name, precision in by_method.items():
+        assert precision >= 0.9, f"{name} precision {precision}"
+    # Higher alpha preserves distances better (paper's observation).
+    assert by_method["crack(a=6)"] >= by_method["crack(a=3)"] - 0.02

@@ -1,0 +1,32 @@
+"""Figure 7: amazon dataset timings with k=2 vs k=10.
+
+Expected shape (paper): increasing k from 2 to 10 impacts H2-ALSH
+noticeably but barely affects the R-tree methods (the extra results are
+usually inside the already-visited node); H2-ALSH's query-time gap
+versus our indices is wider on this larger dataset than on the movie
+dataset (flat buckets vs logarithmic tree).
+"""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig7
+
+
+def test_fig7(benchmark, scale):
+    rows = run_once(benchmark, run_fig7, scale=scale)
+    by_method = {r.method: r for r in rows}
+
+    # H2-ALSH's cost is query-dependent (early termination): its *mean*
+    # can look competitive on an easy workload while low-norm queries
+    # still scan every bucket — so the robust comparison is the tail.
+    for k in (2, 10):
+        crack = by_method[f"crack:k={k}"]
+        alsh = by_method[f"h2-alsh:k={k}"]
+        assert alsh.warm_worst_seconds > crack.warm_avg_seconds
+        # And it pays an offline (MF + hashing) build; cracking does not.
+        assert alsh.build_seconds > 20 * crack.build_seconds
+
+    # k has little impact on our methods (well under 3x).
+    crack2 = by_method["crack:k=2"].warm_avg_seconds
+    crack10 = by_method["crack:k=10"].warm_avg_seconds
+    assert crack10 < 3 * crack2

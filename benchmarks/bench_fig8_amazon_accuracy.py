@@ -1,0 +1,11 @@
+"""Figure 8: precision@K on the amazon dataset (similar to Figs 4/6)."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig8
+
+
+def test_fig8(benchmark, scale):
+    rows = run_once(benchmark, run_fig8, scale=scale)
+    for row in rows:
+        assert row.precision >= 0.9, f"{row.method} precision {row.precision}"

@@ -1,0 +1,28 @@
+"""Figure 9: index node counts, cracking vs bulk (Freebase-like).
+
+Expected shape (paper): the cracking index materialises a small fraction
+of the bulk-loaded index's nodes, and its node count converges after
+around 10 queries.
+"""
+
+from conftest import run_once
+
+from repro.bench.runners import run_fig9
+
+
+def test_fig9(benchmark, scale):
+    rows = run_once(benchmark, run_fig9, scale=scale)
+    assert rows[0].queries_seen == 0
+    assert rows[0].crack_nodes == 0  # nothing materialised before queries
+
+    final = rows[-1]
+    assert final.crack_nodes < final.bulk_nodes
+    assert final.crack_nodes > 0
+
+    # Convergence: the node count stops growing quickly (last two
+    # checkpoints within 30%).
+    assert rows[-1].crack_nodes <= rows[-2].crack_nodes * 1.3
+
+    # Node counts are monotone in queries seen.
+    counts = [r.crack_nodes for r in rows]
+    assert counts == sorted(counts)

@@ -1,0 +1,16 @@
+"""Table I: dataset statistics of the scaled synthetic analogs."""
+
+from conftest import run_once
+
+from repro.bench.runners import run_table1
+
+
+def test_table1(benchmark, scale):
+    rows = run_once(benchmark, run_table1, scale=scale)
+    assert len(rows) == 3
+    names = [r[0] for r in rows]
+    assert names == ["freebase-like", "movielens-like", "amazon-like"]
+    # Freebase-like is the heterogeneous one (many relation types).
+    assert rows[0][2] > rows[1][2]
+    for _, entities, relations, edges in rows:
+        assert entities > 0 and relations > 0 and edges > 0

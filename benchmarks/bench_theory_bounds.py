@@ -1,0 +1,13 @@
+"""Theory check: empirical Theorem 1 tail frequencies vs the bounds."""
+
+from conftest import run_once
+
+from repro.bench.ablations import run_theory_bounds
+
+
+def test_theory_bounds(benchmark):
+    rows = run_once(benchmark, run_theory_bounds, trials=1500)
+    for alpha, eps, upper_obs, upper_bound, lower_obs, lower_bound in rows:
+        slack = 0.03  # Monte-Carlo noise allowance
+        assert upper_obs <= upper_bound + slack, (alpha, eps)
+        assert lower_obs <= lower_bound + slack, (alpha, eps)

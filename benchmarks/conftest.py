@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the dataset sizes; set it to
+0.3 for a quick smoke run of the whole benchmark suite.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run a figure runner exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

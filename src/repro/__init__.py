@@ -1,0 +1,55 @@
+"""Online indices for predictive top-k entity and aggregate queries on
+knowledge graphs — a reproduction of Li, Ge & Chen, ICDE 2020.
+
+Quickstart::
+
+    from repro import VirtualKnowledgeGraph, EngineConfig
+    from repro.kg.generators import movielens_like
+
+    graph, _ = movielens_like()
+    vkg = VirtualKnowledgeGraph.build(graph, EngineConfig(index="cracking"))
+    for edge in vkg.top_tails("user:42", "likes", k=5):
+        print(edge.tail, edge.probability)
+
+The package layers bottom-up:
+
+- :mod:`repro.kg` — knowledge-graph substrate + synthetic datasets;
+- :mod:`repro.embedding` — TransE-family embedding training (the
+  prediction algorithm inducing the virtual graph);
+- :mod:`repro.transform` — the JL projection into the index space S2
+  and the paper's accuracy bounds (Theorems 1-4);
+- :mod:`repro.index` — the cracking/uneven R-tree (the contribution)
+  and the baselines (bulk-loaded R-tree, PH-tree, H2-ALSH, scan);
+- :mod:`repro.query` — Algorithm 3 top-k queries, aggregate estimators,
+  and the :class:`VirtualKnowledgeGraph` facade;
+- :mod:`repro.bench` — workload generators and per-figure experiment
+  runners.
+"""
+
+from repro.embedding import TrainConfig, TransE, train_model
+from repro.errors import ReproError
+from repro.kg import KnowledgeGraph, Triple
+from repro.query import (
+    EngineConfig,
+    QueryEngine,
+    TopKResult,
+    VirtualKnowledgeGraph,
+)
+from repro.transform import JLTransform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "KnowledgeGraph",
+    "Triple",
+    "TransE",
+    "TrainConfig",
+    "train_model",
+    "JLTransform",
+    "EngineConfig",
+    "QueryEngine",
+    "TopKResult",
+    "VirtualKnowledgeGraph",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: canonical datasets, workloads, metrics and one
+runner per table/figure of the paper's evaluation (Section VI)."""
+
+from repro.bench.datasets import BenchDataset, amazon_dataset, freebase_dataset, movie_dataset
+from repro.bench.metrics import precision_at_k, relative_accuracy
+from repro.bench.workloads import Query, make_workload
+
+__all__ = [
+    "BenchDataset",
+    "freebase_dataset",
+    "movie_dataset",
+    "amazon_dataset",
+    "precision_at_k",
+    "relative_accuracy",
+    "Query",
+    "make_workload",
+]

@@ -1,0 +1,64 @@
+"""Command-line entry point: regenerate any table/figure.
+
+Usage::
+
+    python -m repro.bench --figure fig3
+    python -m repro.bench --figure all --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.ablations import ABLATION_RUNNERS, run_theory_bounds
+from repro.bench.extensions import EXTENSION_RUNNERS
+from repro.bench.runners import ALL_RUNNERS as _FIGURES
+from repro.bench.scalability import run_scalability
+
+ALL_RUNNERS = {**_FIGURES, **ABLATION_RUNNERS, **EXTENSION_RUNNERS}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--figure",
+        default="all",
+        choices=["all", "theory", "scalability", *ALL_RUNNERS],
+        help="which experiment to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale factor (default 1.0; use 0.2 for a smoke run)",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each figure's rows as <csv-dir>/<figure>.csv",
+    )
+    args = parser.parse_args(argv)
+    if args.figure == "theory":
+        run_theory_bounds()
+        return 0
+    if args.figure == "scalability":
+        run_scalability(scales=(0.25 * args.scale, 0.5 * args.scale, args.scale))
+        return 0
+    names = list(ALL_RUNNERS) if args.figure == "all" else [args.figure]
+    for name in names:
+        rows = ALL_RUNNERS[name](scale=args.scale)
+        if args.csv_dir:
+            from repro.bench.export import rows_to_csv
+
+            rows_to_csv(rows, f"{args.csv_dir}/{name}.csv")
+        print()
+    if args.figure == "all":
+        run_theory_bounds(trials=1500)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: they sweep the knobs the paper
+fixes (overlap weight ``beta``, radius inflation ``epsilon``, transform
+dimensionality ``alpha``, leaf capacity ``N``) and validate the Theorem
+1 bounds empirically, so a user can see *why* the defaults are what they
+are.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.datasets import BenchDataset, freebase_dataset, movie_dataset
+from repro.bench.methods import NoIndexMethod, RTreeMethod
+from repro.bench.metrics import precision_at_k
+from repro.bench.reporting import print_table
+from repro.bench.workloads import make_workload
+from repro.transform.bounds import theorem1_lower_tail, theorem1_upper_tail
+from repro.transform.jl import JLTransform
+
+
+@dataclass
+class SweepRow:
+    value: float
+    warm_avg_seconds: float
+    precision: float
+    splits: int
+    overlap_cost: float
+
+
+def _sweep(
+    dataset: BenchDataset,
+    make_rtree,
+    values,
+    k: int = 5,
+    num_queries: int = 60,
+    seed: int = 4,
+) -> list[SweepRow]:
+    workload = make_workload(dataset.graph, num_queries, seed=seed)
+    truth_method = NoIndexMethod(dataset)
+    truths = [truth_method.query(q, k) for q in workload]
+    rows: list[SweepRow] = []
+    for value in values:
+        method = make_rtree(value)
+        durations, precisions = [], []
+        for query, truth in zip(workload, truths):
+            start = time.perf_counter()
+            got = method.query(query, k)
+            durations.append(time.perf_counter() - start)
+            precisions.append(precision_at_k(truth, got))
+        warm = float(np.mean(durations[num_queries // 3 :]))
+        rows.append(
+            SweepRow(
+                value=value,
+                warm_avg_seconds=warm,
+                precision=float(np.mean(precisions)),
+                splits=method.index.splits_performed,
+                overlap_cost=method.index.overlap_cost_total,
+            )
+        )
+    return rows
+
+
+def _print_sweep(title: str, label: str, rows: list[SweepRow]) -> list[SweepRow]:
+    print_table(
+        title,
+        [label, "warm avg(s)", "precision@K", "splits", "overlap cost"],
+        [
+            [r.value, r.warm_avg_seconds, r.precision, r.splits, r.overlap_cost]
+            for r in rows
+        ],
+    )
+    return rows
+
+
+def run_ablation_beta(scale: float = 1.0) -> list[SweepRow]:
+    """Overlap-weight beta sweep (Section IV-B1's beta >= 1)."""
+    dataset = freebase_dataset(scale)
+    rows = _sweep(
+        dataset,
+        lambda beta: RTreeMethod(dataset, "cracking", beta=beta),
+        values=(1.0, 1.5, 2.0, 3.0),
+    )
+    return _print_sweep("Ablation: overlap weight beta (freebase-like)", "beta", rows)
+
+
+def run_ablation_epsilon(scale: float = 1.0) -> list[SweepRow]:
+    """Radius-inflation epsilon sweep (Algorithm 3, Theorems 2-3)."""
+    dataset = movie_dataset(scale)
+    rows = _sweep(
+        dataset,
+        lambda eps: RTreeMethod(dataset, "cracking", epsilon=eps),
+        values=(0.1, 0.25, 0.5, 1.0, 2.0),
+    )
+    return _print_sweep(
+        "Ablation: radius inflation epsilon (movie-like)", "epsilon", rows
+    )
+
+
+def run_ablation_alpha(scale: float = 1.0) -> list[SweepRow]:
+    """S2 dimensionality alpha sweep (the paper compares 3 vs 6)."""
+    dataset = movie_dataset(scale)
+    rows = _sweep(
+        dataset,
+        lambda alpha: RTreeMethod(dataset, "cracking", alpha=int(alpha)),
+        values=(2, 3, 4, 6),
+    )
+    return _print_sweep("Ablation: S2 dimensionality alpha (movie-like)", "alpha", rows)
+
+
+def run_ablation_leaf_capacity(scale: float = 1.0) -> list[SweepRow]:
+    """Leaf capacity N sweep (the page-size knob of the cost model)."""
+    dataset = freebase_dataset(scale)
+    rows = _sweep(
+        dataset,
+        lambda n: RTreeMethod(dataset, "cracking", leaf_capacity=int(n)),
+        values=(16, 32, 64, 128),
+    )
+    return _print_sweep(
+        "Ablation: leaf capacity N (freebase-like)", "leaf capacity", rows
+    )
+
+
+def run_theory_bounds(
+    dim: int = 50, trials: int = 4000, seed: int = 0
+) -> list[tuple]:
+    """Empirical Theorem 1 check: observed tail frequencies vs the
+    closed-form bounds, for several (epsilon, alpha) pairs."""
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=dim)
+    v = rng.normal(size=dim)
+    l1 = float(np.linalg.norm(u - v))
+    rows = []
+    for alpha in (3, 6):
+        for eps in (0.5, 1.0, 3.0):
+            upper_hits = 0
+            lower_hits = 0
+            lower_eps = min(eps, 0.9)
+            for t_seed in range(trials):
+                transform = JLTransform(dim, alpha, seed=t_seed)
+                l2 = float(np.linalg.norm(transform(u) - transform(v)))
+                if l2 >= math.sqrt(1 + eps) * l1:
+                    upper_hits += 1
+                if l2 <= math.sqrt(1 - lower_eps) * l1:
+                    lower_hits += 1
+            rows.append(
+                (
+                    alpha,
+                    eps,
+                    upper_hits / trials,
+                    theorem1_upper_tail(eps, alpha),
+                    lower_hits / trials,
+                    theorem1_lower_tail(lower_eps, alpha),
+                )
+            )
+    print_table(
+        "Theory: empirical vs Theorem 1 bounds",
+        [
+            "alpha",
+            "eps",
+            "P[l2>sqrt(1+e)l1] obs",
+            "bound",
+            "P[l2<sqrt(1-e')l1] obs",
+            "bound'",
+        ],
+        rows,
+    )
+    return rows
+
+
+ABLATION_RUNNERS = {
+    "ablation_beta": run_ablation_beta,
+    "ablation_epsilon": run_ablation_epsilon,
+    "ablation_alpha": run_ablation_alpha,
+    "ablation_leaf_capacity": run_ablation_leaf_capacity,
+}

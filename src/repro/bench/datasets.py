@@ -1,0 +1,85 @@
+"""Canonical benchmark datasets (scaled-down analogs of Table I).
+
+The paper's datasets are multi-million-entity dumps; these are the
+laptop-scale equivalents with the same shape (see DESIGN.md section 2).
+Each dataset comes with a frozen embedding
+(:class:`~repro.embedding.pretrained.PretrainedEmbedding`, d=50 as in
+the paper's smaller configuration) whose clustered geometry mirrors what
+a converged TransE run produces on a real knowledge graph. Results are
+cached per process so every figure shares identical inputs.
+
+``scale`` shrinks all size parameters proportionally — handy for smoke
+tests (`scale=0.2`) versus full benchmark runs (`scale=1.0`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.kg.generators import amazon_like, freebase_like, movielens_like
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True)
+class BenchDataset:
+    """A graph, its generative ground truth, and a frozen embedding."""
+
+    name: str
+    graph: KnowledgeGraph
+    world: object
+    model: PretrainedEmbedding
+
+
+def _scaled(value: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+@lru_cache(maxsize=8)
+def freebase_dataset(scale: float = 1.0, dim: int = 50) -> BenchDataset:
+    """Freebase-like: the most heterogeneous dataset (24 relation types)."""
+    graph, world = freebase_like(
+        num_entities=_scaled(4000, scale),
+        num_relations=24,
+        num_edges=_scaled(16000, scale),
+        seed=7,
+    )
+    model = PretrainedEmbedding.from_world(graph, world, dim=dim, seed=70)
+    return BenchDataset("freebase-like", graph, world, model)
+
+
+@lru_cache(maxsize=8)
+def movie_dataset(scale: float = 1.0, dim: int = 50) -> BenchDataset:
+    """MovieLens-like: users/movies/genres/tags, 4 relation types."""
+    graph, world = movielens_like(
+        num_users=_scaled(700, scale),
+        num_movies=_scaled(1500, scale),
+        num_genres=18,
+        num_tags=_scaled(120, scale),
+        num_ratings=_scaled(14000, scale),
+        seed=11,
+    )
+    model = PretrainedEmbedding.from_world(graph, world, dim=dim, seed=71)
+    return BenchDataset("movielens-like", graph, world, model)
+
+
+@lru_cache(maxsize=8)
+def amazon_dataset(scale: float = 1.0, dim: int = 50) -> BenchDataset:
+    """Amazon-like: the largest dataset (users + products)."""
+    graph, world = amazon_like(
+        num_users=_scaled(1500, scale),
+        num_products=_scaled(2600, scale),
+        num_ratings=_scaled(16000, scale),
+        num_coview_edges=_scaled(5000, scale),
+        seed=13,
+    )
+    model = PretrainedEmbedding.from_world(graph, world, dim=dim, seed=72)
+    return BenchDataset("amazon-like", graph, world, model)
+
+
+ALL_DATASETS = {
+    "freebase": freebase_dataset,
+    "movie": movie_dataset,
+    "amazon": amazon_dataset,
+}

@@ -1,0 +1,58 @@
+"""CSV export of figure data.
+
+Every runner returns structured rows (dataclasses or tuples);
+:func:`rows_to_csv` serialises them so users can plot the figures with
+their tool of choice. Wired into the CLI as
+``python -m repro.bench --figure fig3 --csv-dir out/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import os
+from pathlib import Path
+
+
+def rows_to_csv(rows: list, path: str | os.PathLike[str]) -> int:
+    """Write runner output rows to ``path``; returns data rows written.
+
+    Dataclass rows use their field names as the header; dict fields
+    (e.g. ``MethodTiming.probe_seconds``) are flattened into one column
+    per key. Plain tuples/lists get ``col0..colN`` headers. An empty row
+    list writes nothing and returns 0.
+    """
+    if not rows:
+        return 0
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    first = rows[0]
+    if dataclasses.is_dataclass(first):
+        flat_rows = [_flatten(dataclasses.asdict(row)) for row in rows]
+        header = list(flat_rows[0])
+    else:
+        flat_rows = [
+            {f"col{i}": value for i, value in enumerate(row)} for row in rows
+        ]
+        header = list(flat_rows[0])
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.DictWriter(f, fieldnames=header, extrasaction="ignore")
+        writer.writeheader()
+        for row in flat_rows:
+            writer.writerow(row)
+    return len(flat_rows)
+
+
+def _flatten(record: dict) -> dict:
+    """Flatten one level of dict-valued fields into ``field.key`` columns
+    and stringify anything non-scalar."""
+    flat: dict = {}
+    for key, value in record.items():
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                flat[f"{key}.{sub_key}"] = sub_value
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            flat[key] = value
+        else:
+            flat[key] = str(value)
+    return flat

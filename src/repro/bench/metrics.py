@@ -1,0 +1,30 @@
+"""Accuracy metrics used in the evaluation.
+
+- ``precision_at_k`` — Figure 4/6/8: overlap between an index method's
+  top-k result and the no-index (exhaustive) ground truth.
+- ``relative_accuracy`` — Figures 12-16: ``1 - |v_ret - v_true| /
+  v_true`` for aggregate estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def precision_at_k(truth: Iterable[int], result: Iterable[int]) -> float:
+    """|truth ∩ result| / |truth| (0.0 for empty truth)."""
+    truth_set = set(truth)
+    if not truth_set:
+        return 0.0
+    return len(truth_set & set(result)) / len(truth_set)
+
+
+def relative_accuracy(returned: float, true: float) -> float:
+    """The paper's aggregate accuracy: ``1 - |v_ret - v_true|/v_true``.
+
+    Clamped below at 0.0; when the true value is 0, accuracy is 1.0 for
+    an exact match and 0.0 otherwise.
+    """
+    if true == 0.0:
+        return 1.0 if returned == 0.0 else 0.0
+    return max(0.0, 1.0 - abs(returned - true) / abs(true))

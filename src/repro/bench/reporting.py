@@ -1,0 +1,36 @@
+"""Fixed-width table printing for benchmark output.
+
+Every figure runner prints its rows through :func:`print_table`, so the
+harness output reads like the paper's figures in tabular form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render and print a fixed-width table; returns the rendered text."""
+    str_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,35 @@
+"""Wall-clock timing helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A perf_counter context manager: ``with Timer() as t: ...``."""
+
+    seconds: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+    @property
+    def millis(self) -> float:
+        return self.seconds * 1000.0
+
+
+def time_calls(fn, args_list) -> list[float]:
+    """Call ``fn(*args)`` for each args tuple, returning per-call seconds."""
+    durations = []
+    for args in args_list:
+        start = time.perf_counter()
+        fn(*args)
+        durations.append(time.perf_counter() - start)
+    return durations

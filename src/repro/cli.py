@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   write a synthetic dataset (triples + attributes TSV)
+stats      print Table-I-style statistics for a triple file
+train      train an embedding on a triple file and save an engine artifact
+query      top-k predictive query against a saved artifact
+aggregate  aggregate query against a saved artifact
+bench      alias for ``python -m repro.bench``
+
+Example session::
+
+    python -m repro generate --dataset movie --out data/
+    python -m repro stats --triples data/graph.tsv
+    python -m repro train --triples data/graph.tsv \
+        --attributes data/attributes.tsv --out artifact/ --epochs 40
+    python -m repro query --artifact artifact/ --head user:3 \
+        --relation likes -k 5
+    python -m repro aggregate --artifact artifact/ --head user:3 \
+        --relation likes --kind avg --attribute year
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.bench.reporting import print_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset")
+    p.add_argument("--dataset", choices=["freebase", "movie", "amazon"], required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("stats", help="Table-I statistics for a triple file")
+    p.add_argument("--triples", required=True)
+
+    p = sub.add_parser("train", help="train an embedding, save an engine artifact")
+    p.add_argument("--triples", required=True)
+    p.add_argument("--attributes")
+    p.add_argument("--out", required=True)
+    p.add_argument("--dim", type=int, default=50)
+    p.add_argument("--epochs", type=int, default=60)
+    p.add_argument("--alpha", type=int, default=3)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--index", default="cracking")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("query", help="top-k predictive query")
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--head")
+    p.add_argument("--tail")
+    p.add_argument("--relation", required=True)
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--explain", action="store_true")
+
+    p = sub.add_parser("aggregate", help="aggregate query")
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--head")
+    p.add_argument("--tail")
+    p.add_argument("--relation", required=True)
+    p.add_argument("--kind", required=True, choices=["count", "sum", "avg", "max", "min"])
+    p.add_argument("--attribute")
+    p.add_argument("--p-tau", type=float, default=0.25)
+    p.add_argument("--access-fraction", type=float, default=1.0)
+
+    p = sub.add_parser("bench", help="run the benchmark harness")
+    p.add_argument("--figure", default="all")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "train": _cmd_train,
+        "query": _cmd_query,
+        "aggregate": _cmd_aggregate,
+        "bench": _cmd_bench,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_generate(args) -> int:
+    from repro.kg.generators import amazon_like, freebase_like, movielens_like
+    from repro.kg.io import save_attributes, save_triples
+
+    makers = {
+        "freebase": lambda: freebase_like(
+            num_entities=int(4000 * args.scale),
+            num_edges=int(16000 * args.scale),
+            seed=args.seed,
+        ),
+        "movie": lambda: movielens_like(
+            num_users=int(700 * args.scale),
+            num_movies=int(1500 * args.scale),
+            num_ratings=int(14000 * args.scale),
+            seed=args.seed,
+        ),
+        "amazon": lambda: amazon_like(
+            num_users=int(1500 * args.scale),
+            num_products=int(2600 * args.scale),
+            num_ratings=int(16000 * args.scale),
+            seed=args.seed,
+        ),
+    }
+    graph, _ = makers[args.dataset]()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    n_triples = save_triples(graph, out / "graph.tsv")
+    n_attrs = save_attributes(graph, out / "attributes.tsv")
+    print(f"wrote {n_triples} triples and {n_attrs} attribute rows to {out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.kg.io import load_triples
+    from repro.kg.stats import compute_stats, powerlaw_tail_fraction
+
+    graph = load_triples(args.triples)
+    stats = compute_stats(graph)
+    print_table(
+        "Dataset statistics",
+        ["Dataset", "Entities", "Relationship types", "Edges"],
+        [stats.as_row()],
+    )
+    print(f"mean degree {stats.mean_degree:.2f}, max degree {stats.max_degree}, "
+          f"top-10% edge share {powerlaw_tail_fraction(graph):.2f}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.embedding.trainer import TrainConfig, train_model
+    from repro.kg.io import load_attributes, load_triples
+    from repro.persistence import save_engine
+    from repro.query.engine import EngineConfig, QueryEngine
+
+    graph = load_triples(args.triples)
+    if args.attributes:
+        load_attributes(graph, args.attributes)
+    result = train_model(
+        graph,
+        TrainConfig(dim=args.dim, epochs=args.epochs, seed=args.seed),
+    )
+    print(f"trained TransE: final mean hinge loss {result.final_loss:.4f}")
+    engine = QueryEngine.from_graph(
+        graph,
+        EngineConfig(
+            alpha=args.alpha,
+            epsilon=args.epsilon,
+            index=args.index,
+            seed=args.seed,
+        ),
+        model=result.model,
+    )
+    save_engine(engine, args.out)
+    print(f"saved artifact to {args.out}")
+    return 0
+
+
+def _load_vkg(artifact: str):
+    from repro.persistence import load_engine
+    from repro.query.vkg import VirtualKnowledgeGraph
+
+    engine = load_engine(artifact)
+    return VirtualKnowledgeGraph(engine.graph, engine)
+
+
+def _cmd_query(args) -> int:
+    if (args.head is None) == (args.tail is None):
+        print("give exactly one of --head / --tail")
+        return 2
+    vkg = _load_vkg(args.artifact)
+    if args.head is not None:
+        edges = vkg.top_tails(args.head, args.relation, k=args.k)
+        rows = [[e.tail, e.probability] for e in edges]
+        title = f"top-{args.k} tails of ({args.head}, {args.relation}, ?)"
+    else:
+        edges = vkg.top_heads(args.tail, args.relation, k=args.k)
+        rows = [[e.head, e.probability] for e in edges]
+        title = f"top-{args.k} heads of (?, {args.relation}, {args.tail})"
+    print_table(title, ["entity", "probability"], rows)
+    if args.explain:
+        graph = vkg.graph
+        entity = graph.entities.id_of(args.head or args.tail)
+        relation = graph.relations.id_of(args.relation)
+        direction = "tail" if args.head is not None else "head"
+        explain = vkg.engine.explain_topk(entity, relation, args.k, direction)
+        print(explain.summary())
+    return 0
+
+
+def _cmd_aggregate(args) -> int:
+    if (args.head is None) == (args.tail is None):
+        print("give exactly one of --head / --tail")
+        return 2
+    vkg = _load_vkg(args.artifact)
+    estimate = vkg.aggregate(
+        args.kind,
+        args.attribute,
+        head=args.head,
+        tail=args.tail,
+        relation=args.relation,
+        p_tau=args.p_tau,
+        access_fraction=args.access_fraction,
+    )
+    label = f"{args.kind.upper()}({args.attribute or '*'})"
+    print(
+        f"{label} = {estimate.value:.4f} "
+        f"[{estimate.accessed}/{estimate.ball_size} entities accessed, "
+        f"p_tau={estimate.p_tau}]"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(["--figure", args.figure, "--scale", str(args.scale)])

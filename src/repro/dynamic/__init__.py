@@ -1,0 +1,17 @@
+"""Dynamic knowledge-graph updates (the paper's stated future work).
+
+"As future work, we would like to consider dynamic knowledge graph
+updates. Intuitively, when there are local updates, the embedding
+changes should be local too, as most (h, r, t) soft constraints still
+hold. We plan to do incremental updates on our partial index."
+
+:class:`~repro.dynamic.updater.OnlineUpdater` implements exactly that
+design: new edges trigger a few *local* SGD steps touching only the
+involved entities and relation, and the affected entity points are
+deleted from, re-projected into, and re-inserted into the cracking
+index — no retraining, no rebuild.
+"""
+
+from repro.dynamic.updater import OnlineUpdater, UpdateReport
+
+__all__ = ["OnlineUpdater", "UpdateReport"]

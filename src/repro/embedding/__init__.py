@@ -1,0 +1,28 @@
+"""Knowledge-graph embedding substrate.
+
+Implements the translational embedding family the paper builds on
+(TransE as the primary algorithm ``A`` inducing the virtual knowledge
+graph, TransH as a secondary model), a vectorised minibatch SGD trainer
+with filtered negative sampling, and the standard link-prediction
+evaluation protocol (mean rank, hits@k).
+"""
+
+from repro.embedding.base import EmbeddingModel
+from repro.embedding.evaluation import RankingReport, evaluate_ranking
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.embedding.trainer import TrainConfig, train_model
+from repro.embedding.transa import TransA
+from repro.embedding.transe import TransE
+from repro.embedding.transh import TransH
+
+__all__ = [
+    "EmbeddingModel",
+    "TransE",
+    "TransH",
+    "TransA",
+    "PretrainedEmbedding",
+    "TrainConfig",
+    "train_model",
+    "RankingReport",
+    "evaluate_ranking",
+]

@@ -1,0 +1,105 @@
+"""The embedding-model interface the rest of the library consumes.
+
+The indexing pipeline (Sections III-V of the paper) needs exactly three
+things from the embedding algorithm ``A``:
+
+1. one vector per entity in the embedding space ``S1``
+   (:meth:`EmbeddingModel.entity_vectors`);
+2. a *query point* in ``S1`` for each (entity, relation, direction)
+   combination — ``h + r`` when looking for tails, ``t - r`` when looking
+   for heads (:meth:`tail_query_point` / :meth:`head_query_point`);
+3. a plausibility score for ranking, which for translational models is
+   the negative distance between the query point and the candidate
+   entity vector (:meth:`score`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+
+class EmbeddingModel(abc.ABC):
+    """Abstract base class for translational KG embedding models."""
+
+    #: Whether entity vectors are relation-independent points in S1, as
+    #: required by the spatial-index pipeline. TransE satisfies this;
+    #: models that project entities per relation (TransH) do not, and can
+    #: only be used for embedding-quality evaluation.
+    supports_spatial_queries: bool = True
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int) -> None:
+        if num_entities <= 0 or num_relations <= 0 or dim <= 0:
+            raise EmbeddingError("num_entities, num_relations, dim must be positive")
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+
+    # -- vectors -------------------------------------------------------
+
+    @abc.abstractmethod
+    def entity_vectors(self) -> np.ndarray:
+        """The ``(num_entities, dim)`` matrix of entity vectors in S1."""
+
+    @abc.abstractmethod
+    def relation_vectors(self) -> np.ndarray:
+        """The ``(num_relations, dim)`` matrix of relation vectors."""
+
+    def entity_vector(self, entity: int) -> np.ndarray:
+        self._check_entity(entity)
+        return self.entity_vectors()[entity]
+
+    def relation_vector(self, relation: int) -> np.ndarray:
+        self._check_relation(relation)
+        return self.relation_vectors()[relation]
+
+    # -- query points ---------------------------------------------------
+
+    def tail_query_point(self, head: int, relation: int) -> np.ndarray:
+        """The S1 point near which plausible *tails* of (head, relation)
+        live: ``h + r`` for translational models."""
+        self._check_entity(head)
+        self._check_relation(relation)
+        return self.entity_vectors()[head] + self.relation_vectors()[relation]
+
+    def head_query_point(self, tail: int, relation: int) -> np.ndarray:
+        """The S1 point near which plausible *heads* of (relation, tail)
+        live: ``t - r`` for translational models."""
+        self._check_entity(tail)
+        self._check_relation(relation)
+        return self.entity_vectors()[tail] - self.relation_vectors()[relation]
+
+    # -- scoring ---------------------------------------------------------
+
+    def score(self, head: int, relation: int, tail: int) -> float:
+        """Plausibility of the triple; higher means more plausible."""
+        return -self.triple_distance(head, relation, tail)
+
+    def triple_distance(self, head: int, relation: int, tail: int) -> float:
+        """Translational distance ``||h + r - t||_2`` of the triple."""
+        q = self.tail_query_point(head, relation)
+        t = self.entity_vector(tail)
+        return float(np.linalg.norm(q - t))
+
+    def distances_to_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """``||h + r - t||_2`` for every candidate tail entity (vectorised)."""
+        q = self.tail_query_point(head, relation)
+        return np.linalg.norm(self.entity_vectors() - q, axis=1)
+
+    def distances_to_all_heads(self, tail: int, relation: int) -> np.ndarray:
+        """``||t - r - h||_2`` for every candidate head entity (vectorised)."""
+        q = self.head_query_point(tail, relation)
+        return np.linalg.norm(self.entity_vectors() - q, axis=1)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check_entity(self, entity: int) -> None:
+        if not 0 <= entity < self.num_entities:
+            raise EmbeddingError(f"entity id {entity} out of range")
+
+    def _check_relation(self, relation: int) -> None:
+        if not 0 <= relation < self.num_relations:
+            raise EmbeddingError(f"relation id {relation} out of range")

@@ -1,0 +1,79 @@
+"""Link-prediction evaluation: mean rank and hits@k.
+
+Implements the standard "filtered" protocol from the TransE paper: when
+ranking the true tail of a test triple against all entities, other known
+true tails of the same (head, relation) are removed from the candidate
+list so they do not unfairly depress the rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+
+
+@dataclass(frozen=True, slots=True)
+class RankingReport:
+    """Aggregate ranking metrics over a set of test triples."""
+
+    mean_rank: float
+    mean_reciprocal_rank: float
+    hits_at_1: float
+    hits_at_10: float
+    num_evaluated: int
+
+
+def evaluate_ranking(
+    model: EmbeddingModel,
+    graph: KnowledgeGraph,
+    test_triples: list[Triple],
+    max_triples: int | None = None,
+) -> RankingReport:
+    """Rank each test triple's true tail and true head among all entities.
+
+    ``graph`` supplies the filter sets (its triples are treated as known
+    positives). ``max_triples`` caps the evaluation cost for large test
+    sets; the first ``max_triples`` triples are used.
+    """
+    if max_triples is not None:
+        test_triples = test_triples[:max_triples]
+    ranks: list[int] = []
+    for triple in test_triples:
+        ranks.append(
+            _rank_of(
+                model.distances_to_all_tails(triple.head, triple.relation),
+                target=triple.tail,
+                known=graph.tails(triple.head, triple.relation),
+            )
+        )
+        ranks.append(
+            _rank_of(
+                model.distances_to_all_heads(triple.tail, triple.relation),
+                target=triple.head,
+                known=graph.heads(triple.tail, triple.relation),
+            )
+        )
+    if not ranks:
+        return RankingReport(float("nan"), float("nan"), 0.0, 0.0, 0)
+    arr = np.array(ranks, dtype=np.float64)
+    return RankingReport(
+        mean_rank=float(arr.mean()),
+        mean_reciprocal_rank=float((1.0 / arr).mean()),
+        hits_at_1=float((arr <= 1).mean()),
+        hits_at_10=float((arr <= 10).mean()),
+        num_evaluated=len(test_triples),
+    )
+
+
+def _rank_of(distances: np.ndarray, target: int, known: frozenset[int]) -> int:
+    """Filtered rank (1-based) of ``target`` under ``distances``."""
+    target_dist = distances[target]
+    better = 0
+    for candidate in np.flatnonzero(distances < target_dist):
+        if int(candidate) != target and int(candidate) not in known:
+            better += 1
+    return better + 1

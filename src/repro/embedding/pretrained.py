@@ -1,0 +1,103 @@
+"""A frozen, closed-form embedding model for controlled experiments.
+
+The paper treats the embedding algorithm ``A`` as a given black box
+("evaluating the effectiveness of graph embedding for link prediction is
+beyond the scope of this paper") — what its experiments need from ``A``
+is the *geometry* large-scale KG embeddings actually exhibit: entities
+clustered by type/topic, with the plausible tails of a query
+concentrated in a small region around ``h + r``.
+
+:class:`PretrainedEmbedding` provides exactly that, deterministically:
+
+- entity vectors are the generator's ground-truth latent vectors,
+  padded (or projected) to the requested dimensionality ``d`` with a
+  fixed random rotation plus small noise — so the cluster structure the
+  generator planted is preserved verbatim;
+- each relation vector is the **least-squares optimal TransE
+  translation** for its training edges, ``r = mean over (h, r, t) of
+  (t - h)`` — the closed-form minimiser of ``sum ||h + r - t||^2`` with
+  entities frozen.
+
+This is the embedding used by the benchmark harness (fast and with
+calibrated geometry); the trainable :class:`~repro.embedding.transe.TransE`
+remains the end-to-end path exercised by tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.errors import EmbeddingError
+from repro.kg.graph import KnowledgeGraph
+from repro.rng import ensure_rng
+
+
+class PretrainedEmbedding(EmbeddingModel):
+    """An embedding model with fixed entity/relation matrices."""
+
+    supports_spatial_queries = True
+
+    def __init__(self, entities: np.ndarray, relations: np.ndarray) -> None:
+        entities = np.asarray(entities, dtype=np.float64)
+        relations = np.asarray(relations, dtype=np.float64)
+        if entities.ndim != 2 or relations.ndim != 2:
+            raise EmbeddingError("entities and relations must be 2-d arrays")
+        if entities.shape[1] != relations.shape[1]:
+            raise EmbeddingError("entity and relation dims must match")
+        super().__init__(len(entities), len(relations), entities.shape[1])
+        self._entities = entities
+        self._relations = relations
+
+    def entity_vectors(self) -> np.ndarray:
+        return self._entities
+
+    def relation_vectors(self) -> np.ndarray:
+        return self._relations
+
+    @classmethod
+    def from_world(
+        cls,
+        graph: KnowledgeGraph,
+        world,
+        dim: int = 50,
+        noise: float = 0.02,
+        seed: int | np.random.Generator | None = 0,
+    ) -> "PretrainedEmbedding":
+        """Derive the frozen embedding from a generator's ground truth.
+
+        ``world`` is the :class:`~repro.kg.generators.base.LatentFactorWorld`
+        returned alongside the graph. The latent vectors are rotated into
+        ``dim`` dimensions by a fixed random orthonormal map (distances
+        preserved exactly) and perturbed by Gaussian noise of scale
+        ``noise``; relation vectors are the least-squares translations.
+        """
+        if world.latent is None:
+            raise EmbeddingError("world has no latent vectors (call finish())")
+        latent = np.asarray(world.latent, dtype=np.float64)
+        if len(latent) != graph.num_entities:
+            raise EmbeddingError("world latent count does not match graph entities")
+        latent_dim = latent.shape[1]
+        if dim < latent_dim:
+            raise EmbeddingError(
+                f"dim ({dim}) must be at least the latent dim ({latent_dim})"
+            )
+        rng = ensure_rng(seed)
+        # Random orthonormal columns: an isometric embedding of the latent
+        # space into R^dim.
+        gaussian = rng.normal(size=(dim, latent_dim))
+        basis, _ = np.linalg.qr(gaussian)
+        entities = latent @ basis.T
+        if noise > 0:
+            entities = entities + rng.normal(scale=noise, size=entities.shape)
+
+        relations = np.zeros((graph.num_relations, dim))
+        counts = np.zeros(graph.num_relations, dtype=np.int64)
+        for triple in graph.triples():
+            relations[triple.relation] += (
+                entities[triple.tail] - entities[triple.head]
+            )
+            counts[triple.relation] += 1
+        nonzero = counts > 0
+        relations[nonzero] /= counts[nonzero, None]
+        return cls(entities, relations)

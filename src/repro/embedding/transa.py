@@ -1,0 +1,170 @@
+"""TransA [Jia et al., AAAI 2016]: locally adaptive translation metric.
+
+TransA keeps TransE's translation structure (``h + r ~ t``) but replaces
+the isotropic Euclidean metric with a per-relation adaptive Mahalanobis
+metric: ``f_r(h, t) = |h + r - t|^T  W_r  |h + r - t|`` with ``W_r``
+non-negative, learned from the residual statistics of the relation's
+edges. This implementation uses the diagonal form of ``W_r`` (the
+dominant effect in the original paper's analysis): dimensions where a
+relation's residuals are consistently large are down-weighted, so the
+metric adapts to the relation's "shape".
+
+Like :class:`~repro.embedding.transh.TransH`, the *ranking metric* is
+relation-specific even though entity vectors are shared, so TransA
+cannot drive the Euclidean spatial-index pipeline directly
+(``supports_spatial_queries = False``); the paper's index operates on
+the TransE geometry, with TransA offered as an alternative predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.errors import EmbeddingError
+from repro.rng import ensure_rng
+
+#: Floor keeping adaptive weights strictly positive.
+_WEIGHT_FLOOR = 1e-3
+
+
+class TransA(EmbeddingModel):
+    """TransA with diagonal adaptive relation metrics."""
+
+    supports_spatial_queries = False
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 50,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_relations, dim)
+        rng = ensure_rng(seed)
+        bound = 6.0 / np.sqrt(dim)
+        self._entities = rng.uniform(-bound, bound, size=(num_entities, dim))
+        self._relations = rng.uniform(-bound, bound, size=(num_relations, dim))
+        rel_norms = np.linalg.norm(self._relations, axis=1, keepdims=True)
+        self._relations /= np.maximum(rel_norms, 1e-12)
+        # Adaptive diagonal weights, one row per relation; start isotropic.
+        self._weights = np.ones((num_relations, dim))
+        self._normalize_entities(None)
+
+    # -- EmbeddingModel API ------------------------------------------------
+
+    def entity_vectors(self) -> np.ndarray:
+        return self._entities
+
+    def relation_vectors(self) -> np.ndarray:
+        return self._relations
+
+    def metric_weights(self) -> np.ndarray:
+        """The diagonal adaptive weights ``W_r`` (one row per relation)."""
+        return self._weights
+
+    def tail_query_point(self, head: int, relation: int) -> np.ndarray:
+        raise EmbeddingError(
+            "TransA's ranking metric is relation-specific; use TransE for "
+            "spatial-index queries"
+        )
+
+    def head_query_point(self, tail: int, relation: int) -> np.ndarray:
+        raise EmbeddingError(
+            "TransA's ranking metric is relation-specific; use TransE for "
+            "spatial-index queries"
+        )
+
+    def triple_distance(self, head: int, relation: int, tail: int) -> float:
+        diff = (
+            self._entities[head] + self._relations[relation] - self._entities[tail]
+        )
+        return float(np.sqrt((self._weights[relation] * diff * diff).sum()))
+
+    def distances_to_all_tails(self, head: int, relation: int) -> np.ndarray:
+        q = self._entities[head] + self._relations[relation]
+        diff = self._entities - q
+        return np.sqrt((self._weights[relation] * diff * diff).sum(axis=1))
+
+    def distances_to_all_heads(self, tail: int, relation: int) -> np.ndarray:
+        q = self._entities[tail] - self._relations[relation]
+        diff = self._entities - q
+        return np.sqrt((self._weights[relation] * diff * diff).sum(axis=1))
+
+    # -- training ----------------------------------------------------------
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        margin: float,
+        learning_rate: float,
+    ) -> float:
+        """Margin ranking step under the adaptive metric, followed by a
+        closed-form refresh of the adaptive weights from the positive
+        residuals (the TransA adaptation step)."""
+        ph, pr, pt = positives[:, 0], positives[:, 1], positives[:, 2]
+        nh, nr, nt = negatives[:, 0], negatives[:, 1], negatives[:, 2]
+        pos_diff = self._entities[ph] + self._relations[pr] - self._entities[pt]
+        neg_diff = self._entities[nh] + self._relations[nr] - self._entities[nt]
+        w_pos = self._weights[pr]
+        w_neg = self._weights[nr]
+        pos_dist = np.sqrt((w_pos * pos_diff**2).sum(axis=1))
+        neg_dist = np.sqrt((w_neg * neg_diff**2).sum(axis=1))
+        losses = margin + pos_dist - neg_dist
+        violated = losses > 0
+        mean_loss = float(np.maximum(losses, 0.0).mean()) if len(losses) else 0.0
+        if violated.any():
+            ph, pr, pt = ph[violated], pr[violated], pt[violated]
+            nh, nr, nt = nh[violated], nr[violated], nt[violated]
+            pos_grad = (
+                w_pos[violated]
+                * pos_diff[violated]
+                / np.maximum(pos_dist[violated], 1e-12)[:, None]
+            )
+            neg_grad = (
+                w_neg[violated]
+                * neg_diff[violated]
+                / np.maximum(neg_dist[violated], 1e-12)[:, None]
+            )
+            lr = learning_rate
+            np.add.at(self._entities, ph, -lr * pos_grad)
+            np.add.at(self._entities, pt, lr * pos_grad)
+            np.add.at(self._relations, pr, -lr * pos_grad)
+            np.add.at(self._entities, nh, lr * neg_grad)
+            np.add.at(self._entities, nt, -lr * neg_grad)
+            np.add.at(self._relations, nr, lr * neg_grad)
+            touched = np.unique(np.concatenate([ph, pt, nh, nt]))
+            self._normalize_entities(touched)
+        self._adapt_weights(positives)
+        return mean_loss
+
+    def _adapt_weights(self, positives: np.ndarray) -> None:
+        """Refresh ``W_r`` from this batch's positive residuals.
+
+        Dimensions with larger mean squared residual get *smaller*
+        weight (the relation tolerates error there); rows are
+        renormalised to mean 1 so distance scales stay comparable
+        across relations.
+        """
+        diffs = (
+            self._entities[positives[:, 0]]
+            + self._relations[positives[:, 1]]
+            - self._entities[positives[:, 2]]
+        )
+        for relation in np.unique(positives[:, 1]):
+            rows = positives[:, 1] == relation
+            residual = (diffs[rows] ** 2).mean(axis=0)
+            weights = 1.0 / np.maximum(residual, _WEIGHT_FLOOR)
+            weights /= weights.mean()
+            # Exponential moving average keeps the metric stable.
+            self._weights[relation] = 0.9 * self._weights[relation] + 0.1 * weights
+
+    def _normalize_entities(self, rows: np.ndarray | None) -> None:
+        target = self._entities if rows is None else self._entities[rows]
+        norms = np.linalg.norm(target, axis=1, keepdims=True)
+        normalized = target / np.maximum(norms, 1.0)
+        if rows is None:
+            self._entities = normalized
+        else:
+            self._entities[rows] = normalized

@@ -1,0 +1,147 @@
+"""TransE [Bordes et al., NIPS 2013] trained with vectorised numpy SGD.
+
+TransE models a relation as a translation in the embedding space:
+``h + r ≈ t`` for true triples, optimised with a margin ranking loss
+against corrupted (negative) triples:
+
+    L = sum over (pos, neg) pairs of  max(0, margin + d(pos) - d(neg))
+
+where ``d`` is the L1 or L2 distance of ``h + r - t``. Entity vectors
+are renormalised to the unit ball after each parameter step, as in the
+original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.errors import EmbeddingError
+from repro.rng import ensure_rng
+
+
+class TransE(EmbeddingModel):
+    """A TransE model with in-place SGD updates.
+
+    Parameters
+    ----------
+    num_entities, num_relations, dim:
+        Matrix shapes.
+    norm:
+        1 for L1 distance, 2 for L2 distance (default).
+    seed:
+        Initialisation seed. Vectors start uniform in
+        ``[-6/sqrt(dim), 6/sqrt(dim)]`` per the original paper; relation
+        vectors are L2-normalised once at init.
+    """
+
+    supports_spatial_queries = True
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 50,
+        norm: int = 2,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_relations, dim)
+        if norm not in (1, 2):
+            raise EmbeddingError("norm must be 1 (L1) or 2 (L2)")
+        self.norm = norm
+        rng = ensure_rng(seed)
+        bound = 6.0 / np.sqrt(dim)
+        self._entities = rng.uniform(-bound, bound, size=(num_entities, dim))
+        self._relations = rng.uniform(-bound, bound, size=(num_relations, dim))
+        rel_norms = np.linalg.norm(self._relations, axis=1, keepdims=True)
+        self._relations /= np.maximum(rel_norms, 1e-12)
+        self._normalize_entities()
+
+    # -- EmbeddingModel API ------------------------------------------------
+
+    def entity_vectors(self) -> np.ndarray:
+        return self._entities
+
+    def relation_vectors(self) -> np.ndarray:
+        return self._relations
+
+    def triple_distance(self, head: int, relation: int, tail: int) -> float:
+        diff = (
+            self._entities[head] + self._relations[relation] - self._entities[tail]
+        )
+        if self.norm == 1:
+            return float(np.abs(diff).sum())
+        return float(np.linalg.norm(diff))
+
+    # -- training ----------------------------------------------------------
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        margin: float,
+        learning_rate: float,
+    ) -> float:
+        """One minibatch margin-ranking SGD step.
+
+        ``positives`` and ``negatives`` are aligned ``(n, 3)`` arrays of
+        ``(h, r, t)`` rows. Returns the mean hinge loss of the batch
+        (before the update).
+        """
+        ph, pr, pt = positives[:, 0], positives[:, 1], positives[:, 2]
+        nh, nr, nt = negatives[:, 0], negatives[:, 1], negatives[:, 2]
+        pos_diff = self._entities[ph] + self._relations[pr] - self._entities[pt]
+        neg_diff = self._entities[nh] + self._relations[nr] - self._entities[nt]
+        pos_dist = self._distances(pos_diff)
+        neg_dist = self._distances(neg_diff)
+        losses = margin + pos_dist - neg_dist
+        violated = losses > 0
+        if not violated.any():
+            return 0.0
+
+        ph, pr, pt = ph[violated], pr[violated], pt[violated]
+        nh, nr, nt = nh[violated], nr[violated], nt[violated]
+        pos_grad = self._distance_gradient(pos_diff[violated], pos_dist[violated])
+        neg_grad = self._distance_gradient(neg_diff[violated], neg_dist[violated])
+
+        lr = learning_rate
+        # d loss / d h = +pos_grad ; d/d t = -pos_grad ; relation likewise.
+        np.add.at(self._entities, ph, -lr * pos_grad)
+        np.add.at(self._entities, pt, lr * pos_grad)
+        np.add.at(self._relations, pr, -lr * pos_grad)
+        # Negative triple enters the loss with a minus sign.
+        np.add.at(self._entities, nh, lr * neg_grad)
+        np.add.at(self._entities, nt, -lr * neg_grad)
+        np.add.at(self._relations, nr, lr * neg_grad)
+
+        touched = np.unique(np.concatenate([ph, pt, nh, nt]))
+        self._normalize_entities(touched)
+        return float(np.maximum(losses, 0.0).mean())
+
+    # -- internals -----------------------------------------------------------
+
+    def _distances(self, diff: np.ndarray) -> np.ndarray:
+        if self.norm == 1:
+            return np.abs(diff).sum(axis=1)
+        return np.linalg.norm(diff, axis=1)
+
+    def _distance_gradient(self, diff: np.ndarray, dist: np.ndarray) -> np.ndarray:
+        """Gradient of the distance w.r.t. ``diff`` rows."""
+        if self.norm == 1:
+            return np.sign(diff)
+        return diff / np.maximum(dist, 1e-12)[:, None]
+
+    def _normalize_entities(self, rows: np.ndarray | None = None) -> None:
+        """Project entity vectors back into the unit ball.
+
+        ``rows`` limits the projection to the entities a step touched —
+        untouched vectors must not move, so that dynamic updates stay
+        local (and re-indexing stays cheap).
+        """
+        target = self._entities if rows is None else self._entities[rows]
+        norms = np.linalg.norm(target, axis=1, keepdims=True)
+        normalized = target / np.maximum(norms, 1.0)
+        if rows is None:
+            self._entities = normalized
+        else:
+            self._entities[rows] = normalized

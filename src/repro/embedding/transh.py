@@ -1,0 +1,132 @@
+"""TransH [Wang et al., AAAI 2014]: translation on relation hyperplanes.
+
+TransH projects entities onto a relation-specific hyperplane before the
+translation: ``d(h, r, t) = || (h - w_r^T h w_r) + d_r - (t - w_r^T t w_r) ||``.
+Because the projected entity point depends on the relation, TransH does
+*not* provide a single relation-independent point per entity in S1 and
+therefore cannot drive the spatial-index pipeline directly
+(``supports_spatial_queries = False``); it is included as a secondary
+model for link-prediction quality comparisons, matching the paper's
+statement that the method adapts to other translational embeddings via
+their (h, r, t) loss structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.errors import EmbeddingError
+from repro.rng import ensure_rng
+
+
+class TransH(EmbeddingModel):
+    """A TransH model with in-place SGD updates."""
+
+    supports_spatial_queries = False
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int = 50,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(num_entities, num_relations, dim)
+        rng = ensure_rng(seed)
+        bound = 6.0 / np.sqrt(dim)
+        self._entities = rng.uniform(-bound, bound, size=(num_entities, dim))
+        self._relations = rng.uniform(-bound, bound, size=(num_relations, dim))
+        self._normals = rng.normal(size=(num_relations, dim))
+        self._renormalize()
+
+    def entity_vectors(self) -> np.ndarray:
+        return self._entities
+
+    def relation_vectors(self) -> np.ndarray:
+        return self._relations
+
+    def normal_vectors(self) -> np.ndarray:
+        """Unit normals ``w_r`` of the relation hyperplanes."""
+        return self._normals
+
+    def tail_query_point(self, head: int, relation: int) -> np.ndarray:
+        raise EmbeddingError(
+            "TransH entity points are relation-dependent; use TransE for "
+            "spatial-index queries"
+        )
+
+    def head_query_point(self, tail: int, relation: int) -> np.ndarray:
+        raise EmbeddingError(
+            "TransH entity points are relation-dependent; use TransE for "
+            "spatial-index queries"
+        )
+
+    def triple_distance(self, head: int, relation: int, tail: int) -> float:
+        w = self._normals[relation]
+        h = self._entities[head]
+        t = self._entities[tail]
+        h_proj = h - (w @ h) * w
+        t_proj = t - (w @ t) * w
+        return float(np.linalg.norm(h_proj + self._relations[relation] - t_proj))
+
+    def distances_to_all_tails(self, head: int, relation: int) -> np.ndarray:
+        w = self._normals[relation]
+        h = self._entities[head]
+        h_proj = h - (w @ h) * w
+        tails_proj = self._entities - np.outer(self._entities @ w, w)
+        return np.linalg.norm(h_proj + self._relations[relation] - tails_proj, axis=1)
+
+    def distances_to_all_heads(self, tail: int, relation: int) -> np.ndarray:
+        w = self._normals[relation]
+        t = self._entities[tail]
+        t_proj = t - (w @ t) * w
+        heads_proj = self._entities - np.outer(self._entities @ w, w)
+        return np.linalg.norm(heads_proj + self._relations[relation] - t_proj, axis=1)
+
+    def sgd_step(
+        self,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        margin: float,
+        learning_rate: float,
+    ) -> float:
+        """One minibatch margin-ranking SGD step (numerical gradients on
+        the projected translation; normals re-unitised after the step)."""
+        losses = []
+        for pos, neg in zip(positives, negatives):
+            loss = self._pair_step(pos, neg, margin, learning_rate)
+            losses.append(loss)
+        self._renormalize()
+        return float(np.mean(losses)) if losses else 0.0
+
+    def _pair_step(
+        self, pos: np.ndarray, neg: np.ndarray, margin: float, lr: float
+    ) -> float:
+        pos_dist = self.triple_distance(int(pos[0]), int(pos[1]), int(pos[2]))
+        neg_dist = self.triple_distance(int(neg[0]), int(neg[1]), int(neg[2]))
+        loss = margin + pos_dist - neg_dist
+        if loss <= 0:
+            return 0.0
+        for triple, sign in ((pos, 1.0), (neg, -1.0)):
+            h, r, t = int(triple[0]), int(triple[1]), int(triple[2])
+            w = self._normals[r]
+            hv, tv = self._entities[h], self._entities[t]
+            diff = (hv - (w @ hv) * w) + self._relations[r] - (tv - (w @ tv) * w)
+            dist = max(float(np.linalg.norm(diff)), 1e-12)
+            g = diff / dist  # gradient of distance w.r.t. diff
+            # Projection P = I - w w^T is symmetric, so dL/dh = P g etc.
+            pg = g - (w @ g) * w
+            self._entities[h] -= sign * lr * pg
+            self._entities[t] += sign * lr * pg
+            self._relations[r] -= sign * lr * g
+            # d diff / d w = -(w h^T + (w.h) I) h ... use the exact form:
+            grad_w = -((w @ hv) * g + (g @ hv) * w) + ((w @ tv) * g + (g @ tv) * w)
+            self._normals[r] -= sign * lr * grad_w
+        return float(loss)
+
+    def _renormalize(self) -> None:
+        norms = np.linalg.norm(self._normals, axis=1, keepdims=True)
+        self._normals /= np.maximum(norms, 1e-12)
+        ent_norms = np.linalg.norm(self._entities, axis=1, keepdims=True)
+        np.divide(self._entities, np.maximum(ent_norms, 1.0), out=self._entities)

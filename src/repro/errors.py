@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch everything from this package with a single ``except`` clause
+while still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class VocabularyError(ReproError):
+    """An unknown entity or relation name/id was used."""
+
+
+class GraphError(ReproError):
+    """Invalid knowledge-graph construction or lookup."""
+
+
+class EmbeddingError(ReproError):
+    """Embedding model misuse (untrained model, shape mismatch, ...)."""
+
+
+class TransformError(ReproError):
+    """Invalid Johnson-Lindenstrauss transform configuration."""
+
+
+class IndexError_(ReproError):
+    """Spatial index misuse (named with a trailing underscore to avoid
+    shadowing the ``IndexError`` builtin)."""
+
+
+class QueryError(ReproError):
+    """Invalid predictive query (unknown entity, bad parameters, ...)."""

@@ -1,0 +1,41 @@
+"""The offline, fully bulk-loaded R-tree baseline (``BULKLOADCHUNK``).
+
+Identical machinery to the cracking tree, but the whole tree is expanded
+at construction time with no query region (so the stopping condition
+never fires and the classical overlap-only cost model chooses splits).
+The result is the balanced R-tree the paper compares against: fast,
+even query times, but a significant offline build cost and a far larger
+structure than the cracking index ever materialises.
+"""
+
+from __future__ import annotations
+
+from repro.index.geometry import Rect
+from repro.index.rtree_base import RTreeBase
+from repro.index.store import PointStore
+
+
+class BulkLoadedRTree(RTreeBase):
+    """A fully built top-down bulk-loaded R-tree."""
+
+    def __init__(
+        self,
+        store: PointStore,
+        leaf_capacity: int = 32,
+        fanout: int = 8,
+        beta: float = 1.5,
+    ) -> None:
+        super().__init__(store, leaf_capacity, fanout, beta)
+        # Offline full expansion: query=None disables the stopping
+        # condition, so every partition is split down to leaves.
+        super().refine(None)
+
+    def refine(self, query: Rect | None) -> None:
+        """No-op: the tree is fully built at construction."""
+
+    def insert(self, ident: int) -> None:
+        """Insert and immediately re-expand any uncracked overflow, so
+        the tree stays fully materialised (unlike the cracking variants,
+        which leave the overflow for the next query to re-split)."""
+        super().insert(ident)
+        RTreeBase.refine(self, None)

@@ -1,0 +1,31 @@
+"""The greedy cracking R-tree — ``INCREMENTALINDEXBUILD`` (Section IV-C1).
+
+No offline build: the tree starts as a single frontier partition holding
+every point, and each query region cracks exactly the contour elements
+it overlaps (subject to the stopping condition), choosing each binary
+split greedily by the composite cost ``(c_Q, c_O)``. The canonical use
+is :meth:`CrackingRTree.crack_and_search`, which refines and answers in
+one top-down pass, as the paper's incremental algorithm does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.geometry import Rect
+from repro.index.rtree_base import RTreeBase
+
+
+class CrackingRTree(RTreeBase):
+    """Greedy online cracking R-tree (the paper's main method)."""
+
+    def crack_and_search(self, query: Rect) -> np.ndarray:
+        """Refine the index for ``query`` and return the ids inside it.
+
+        Equivalent to ``refine(query)`` followed by ``search(query)``;
+        kept as one operation because that is how the incremental
+        algorithm is specified (qualified points are found during the
+        same top-down probing pass that cracks the nodes).
+        """
+        self.refine(query)
+        return self.search(query)

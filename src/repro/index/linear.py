@@ -1,0 +1,83 @@
+"""The no-index baseline: iterate over every entity per query.
+
+This is "what one would do without our work" (Section VI): the
+prediction algorithm ``A`` is treated as an oracle and each candidate
+entity is scored on the fly. Scoring honestly happens one entity at a
+time (a Python-level loop calling the model), because that is the access
+pattern of a system without an index over an opaque predictor — the
+whole motivation of the paper. A vectorised fast path is available for
+tests and for computing ground-truth rankings cheaply.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.stats import AccessCounters
+
+
+class ExhaustiveScan:
+    """Top-k by scanning all entity vectors in the original space S1."""
+
+    def __init__(self, entity_vectors: np.ndarray, vectorized: bool = False) -> None:
+        vectors = np.asarray(entity_vectors, dtype=np.float64)
+        if vectors.ndim != 2 or len(vectors) == 0:
+            raise IndexError_("entity_vectors must be a non-empty (n, d) array")
+        self._vectors = vectors
+        self.vectorized = vectorized
+        self.counters = AccessCounters()
+
+    @property
+    def size(self) -> int:
+        return len(self._vectors)
+
+    def topk(
+        self, query_point: np.ndarray, k: int, exclude: set[int] | frozenset[int] = frozenset()
+    ) -> list[tuple[int, float]]:
+        """The ``k`` entities nearest to ``query_point`` in S1.
+
+        Returns ``(entity_id, distance)`` pairs in increasing distance,
+        skipping ``exclude`` (the known E-neighbours and the query
+        entity itself).
+        """
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        query_point = np.asarray(query_point, dtype=np.float64)
+        if self.vectorized:
+            return self._topk_vectorized(query_point, k, exclude)
+        return self._topk_scan(query_point, k, exclude)
+
+    def _topk_scan(
+        self, query_point: np.ndarray, k: int, exclude: set[int] | frozenset[int]
+    ) -> list[tuple[int, float]]:
+        heap: list[tuple[float, int]] = []  # max-heap via negated distance
+        for entity in range(len(self._vectors)):
+            self.counters.points_examined += 1
+            if entity in exclude:
+                continue
+            diff = self._vectors[entity] - query_point
+            dist = float(np.sqrt(diff @ diff))
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, entity))
+            elif -heap[0][0] > dist:
+                heapq.heapreplace(heap, (-dist, entity))
+        result = [(entity, -neg) for neg, entity in heap]
+        result.sort(key=lambda pair: (pair[1], pair[0]))
+        return result
+
+    def _topk_vectorized(
+        self, query_point: np.ndarray, k: int, exclude: set[int] | frozenset[int]
+    ) -> list[tuple[int, float]]:
+        self.counters.points_examined += len(self._vectors)
+        dists = np.linalg.norm(self._vectors - query_point, axis=1)
+        if exclude:
+            dists = dists.copy()
+            dists[list(exclude)] = np.inf
+        take = min(k, len(dists))
+        nearest = np.argpartition(dists, take - 1)[:take]
+        pairs = [(int(i), float(dists[i])) for i in nearest if np.isfinite(dists[i])]
+        pairs.sort(key=lambda pair: (pair[1], pair[0]))
+        return pairs

@@ -1,0 +1,76 @@
+"""Node structures of the cracking R-tree.
+
+Three kinds of tree entries exist during the index's lifetime:
+
+- :class:`LeafNode` — a terminal page of at most ``N`` point ids;
+- :class:`InternalNode` — an expanded node with up to ``M`` child
+  entries and the chunk ``part_size`` its children were carved with;
+- :class:`FrontierEntry` — an *unexpanded* partition, i.e. an element of
+  the contour (Definition 2). ``chunk_root=True`` marks a partition that
+  will become a whole child subtree of height ``height`` when expanded;
+  ``chunk_root=False`` marks a piece of an internal node's partitioning
+  that stopped early at the stopping condition and may be resumed by a
+  later query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.index.geometry import Rect
+from repro.index.partition import Partition
+
+
+@dataclass(slots=True)
+class LeafNode:
+    """A terminal R-tree page holding point ids."""
+
+    ids: np.ndarray
+    mbr: Rect
+
+    @property
+    def size(self) -> int:
+        return len(self.ids)
+
+
+@dataclass(slots=True)
+class FrontierEntry:
+    """An unexpanded partition on the contour."""
+
+    partition: Partition
+    height: int
+    chunk_root: bool
+
+    @property
+    def mbr(self) -> Rect:
+        return self.partition.mbr
+
+    @property
+    def size(self) -> int:
+        return self.partition.size
+
+
+@dataclass(slots=True)
+class InternalNode:
+    """An expanded R-tree node with mixed child entries.
+
+    ``complete`` memoises "this subtree contains no frontier entries":
+    once true it can never become false (expansion is monotone), letting
+    refinement skip fully-expanded regions entirely.
+    """
+
+    height: int
+    part_size: int
+    mbr: Rect
+    entries: list = field(default_factory=list)
+    complete: bool = False
+
+    @property
+    def size(self) -> int:
+        return sum(e.size for e in self.entries)
+
+
+#: Anything that can appear in a tree position.
+TreeEntry = LeafNode | InternalNode | FrontierEntry

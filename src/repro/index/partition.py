@@ -1,0 +1,228 @@
+"""Partitions (contour elements) and the binary-split search.
+
+A :class:`Partition` is one element of the cracking R-tree's *contour*
+(Definition 2): a set of data points, kept in ``S`` sort orders (one per
+S2 coordinate, as in the top-down bulk-loading algorithm), together with
+its MBR. Binary splits happen at the M-1 equally spaced part boundaries
+of one sort order; :meth:`Partition.best_splits` evaluates every
+(sort order, boundary) candidate under the paper's two-component cost
+``(c_Q, c_O)`` and returns the best ``top_k`` choices.
+
+Partitions are immutable: a split produces two child partitions and
+leaves the parent untouched, which is what lets Algorithm 2's A* search
+hold several alternative contours cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.geometry import Rect
+from repro.index.store import PointStore
+
+#: Floor for degenerate (zero) volumes in overlap-cost ratios.
+_VOLUME_FLOOR = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class SplitChoice:
+    """One candidate binary split of a partition.
+
+    ``c_q`` is the post-split page lower bound contribution of the two
+    halves (``ceil(|Q cap L|/N) + ceil(|Q cap H|/N)``); ``c_o`` is the
+    overlap-cost increment ``beta^h * ||O|| / min(||L||, ||H||)``. The
+    composite cost compares lexicographically, c_q major (Section IV-B1).
+    """
+
+    c_q: int
+    c_o: float
+    sort_order: int
+    position: int
+
+    @property
+    def cost(self) -> tuple[int, float]:
+        return (self.c_q, self.c_o)
+
+
+class Partition:
+    """An immutable contour element: point ids in ``S`` sort orders."""
+
+    __slots__ = ("store", "orders", "mbr")
+
+    def __init__(self, store: PointStore, orders: list[np.ndarray]) -> None:
+        if not orders:
+            raise IndexError_("a partition needs at least one sort order")
+        self.store = store
+        self.orders = orders
+        self.mbr = store.mbr_of(orders[0])
+
+    @classmethod
+    def from_ids(cls, store: PointStore, ids: np.ndarray) -> "Partition":
+        """Build a partition over ``ids`` with one sort order per dim.
+
+        Ties are broken by id so the orders are total and deterministic.
+        """
+        ids = np.asarray(ids)
+        if ids.size == 0:
+            raise IndexError_("cannot build an empty partition")
+        coords = store.points_of(ids)
+        orders = [
+            ids[np.lexsort((ids, coords[:, s]))] for s in range(store.dim)
+        ]
+        return cls(store, orders)
+
+    # -- basic accessors --------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.orders[0])
+
+    @property
+    def num_orders(self) -> int:
+        return len(self.orders)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """The point ids (in the first sort order's sequence)."""
+        return self.orders[0]
+
+    def count_in(self, rect: Rect) -> int:
+        return self.store.count_in_rect(self.ids, rect)
+
+    def ids_in(self, rect: Rect) -> np.ndarray:
+        return self.store.ids_in_rect(self.ids, rect)
+
+    # -- split search --------------------------------------------------------
+
+    def split_positions(self, part_size: int) -> list[int]:
+        """The equally spaced candidate boundaries (in points, not parts)."""
+        if part_size <= 0:
+            raise IndexError_("part_size must be positive")
+        return list(range(part_size, self.size, part_size))
+
+    def best_splits(
+        self,
+        part_size: int,
+        query: Rect | None,
+        leaf_capacity: int,
+        beta: float,
+        height: int,
+        top_k: int = 1,
+    ) -> list[SplitChoice]:
+        """Evaluate all (sort order, boundary) split candidates.
+
+        ``query`` is the current query region Q (None during offline bulk
+        loading, in which case ``c_q`` is 0 for every candidate and the
+        choice degenerates to the classical overlap-only cost model).
+        Returns the ``top_k`` cheapest choices under the lexicographic
+        composite cost; fewer when there are fewer candidates.
+        """
+        positions = self.split_positions(part_size)
+        if not positions:
+            return []
+        beta_h = beta**height
+        # For point data, a split along a sort order has zero MBR overlap
+        # in the split dimension (the halves only touch), so the overlap
+        # term alone cannot discriminate between candidates. We therefore
+        # add the classical top-down-greedy-split objective — the total
+        # volume of the two bounding boxes, relative to the parent — as
+        # the geometric component of c_O.
+        parent_volume = max(self.mbr.volume(), _VOLUME_FLOOR)
+        choices: list[SplitChoice] = []
+        for s, order in enumerate(self.orders):
+            coords = self.store.points_of(order)
+            front_lo = np.minimum.accumulate(coords, axis=0)
+            front_hi = np.maximum.accumulate(coords, axis=0)
+            back_lo = np.minimum.accumulate(coords[::-1], axis=0)[::-1]
+            back_hi = np.maximum.accumulate(coords[::-1], axis=0)[::-1]
+            if query is not None:
+                in_q = query.contains_points(coords)
+                prefix_q = np.concatenate(([0], np.cumsum(in_q)))
+                total_q = int(prefix_q[-1])
+            for pos in positions:
+                low_rect = Rect(front_lo[pos - 1], front_hi[pos - 1])
+                high_rect = Rect(back_lo[pos], back_hi[pos])
+                overlap = low_rect.overlap_volume(high_rect)
+                denominator = max(
+                    min(low_rect.volume(), high_rect.volume()), _VOLUME_FLOOR
+                )
+                total_volume = low_rect.volume() + high_rect.volume()
+                c_o = beta_h * (
+                    overlap / denominator + total_volume / parent_volume
+                )
+                if query is None:
+                    c_q = 0
+                else:
+                    q_low = int(prefix_q[pos])
+                    q_high = total_q - q_low
+                    c_q = math.ceil(q_low / leaf_capacity) + math.ceil(
+                        q_high / leaf_capacity
+                    )
+                choices.append(SplitChoice(c_q, c_o, s, pos))
+        choices.sort(key=lambda c: (c.c_q, c.c_o, c.sort_order, c.position))
+        return choices[:top_k]
+
+    def apply_split(self, choice: SplitChoice) -> tuple["Partition", "Partition"]:
+        """Split into (low, high) partitions at ``choice``.
+
+        All ``S`` sort orders are partitioned consistently (Lemma 2): the
+        low side's id set comes from the chosen order's prefix, and each
+        other order is filtered preserving its relative order.
+        """
+        chosen = self.orders[choice.sort_order]
+        low_ids = chosen[: choice.position]
+        if choice.position <= 0 or choice.position >= self.size:
+            raise IndexError_("split position must be strictly interior")
+        mask = self.store.borrow_mask(low_ids)
+        try:
+            low_orders: list[np.ndarray] = []
+            high_orders: list[np.ndarray] = []
+            for order in self.orders:
+                in_low = mask[order]
+                low_orders.append(order[in_low])
+                high_orders.append(order[~in_low])
+        finally:
+            self.store.release_mask(low_ids)
+        return (
+            Partition(self.store, low_orders),
+            Partition(self.store, high_orders),
+        )
+
+    def with_id_added(self, ident: int) -> "Partition":
+        """A new partition with ``ident`` inserted into every sort order
+        at its sorted position (dynamic-update support)."""
+        coords = self.store.points_of(np.array([ident]))[0]
+        new_orders: list[np.ndarray] = []
+        for s, order in enumerate(self.orders):
+            keys = self.store.points_of(order)[:, s]
+            position = int(np.searchsorted(keys, coords[s]))
+            new_orders.append(np.insert(order, position, ident))
+        return Partition(self.store, new_orders)
+
+    def with_id_removed(self, ident: int) -> "Partition | None":
+        """A new partition without ``ident`` (None when it empties)."""
+        if self.size == 1:
+            if int(self.orders[0][0]) == ident:
+                return None
+            raise IndexError_(f"id {ident} not in partition")
+        new_orders = [order[order != ident] for order in self.orders]
+        if len(new_orders[0]) == self.size:
+            raise IndexError_(f"id {ident} not in partition")
+        return Partition(self.store, new_orders)
+
+    def take_chunks(self, part_size: int) -> list["Partition"]:
+        """Cut the partition into consecutive chunks of ``part_size`` along
+        the first sort order — the fallback when no cost-based split is
+        needed (e.g. a partition of exactly ``M`` leaf-fulls)."""
+        chunks: list[Partition] = []
+        for start in range(0, self.size, part_size):
+            ids = self.orders[0][start : start + part_size]
+            chunks.append(Partition.from_ids(self.store, ids))
+        return chunks
+
+    def __repr__(self) -> str:
+        return f"Partition(size={self.size}, mbr={self.mbr!r})"

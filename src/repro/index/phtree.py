@@ -1,0 +1,196 @@
+"""A PH-tree-style high-dimensional index baseline [Zaschke et al. 2014].
+
+The PH-tree is a bit-interleaved prefix-sharing digital tree: every node
+branches on one bit of each of the ``d`` dimensions simultaneously, so a
+child is addressed by a ``d``-bit *hypercube address*. Children are kept
+sparsely in a dict (the real PH-tree switches between array and hash
+representations; at high ``d`` only the sparse form is viable).
+
+Coordinates are quantised to ``bits``-bit unsigned integers over the
+data's bounding box. kNN runs best-first over nodes ordered by the
+Euclidean distance from the query to the node's region box.
+
+This baseline exists to reproduce the paper's observation that indexing
+the raw 50-100 dimensional embedding vectors does not pay off: with
+``d >= 50``, the first level already fans out to nearly one child per
+point (points differ in the leading bit of *some* dimension almost
+surely), so a kNN search degenerates toward a linear scan with extra
+tree overhead — and the offline build cost is significant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.stats import AccessCounters
+
+
+class _Node:
+    """One PH-tree node: branches on bit position ``bit`` (from the MSB)."""
+
+    __slots__ = ("bit", "children", "points", "lower", "upper")
+
+    def __init__(self, bit: int, lower: np.ndarray, upper: np.ndarray) -> None:
+        self.bit = bit
+        self.children: dict[int, _Node] = {}
+        self.points: list[int] = []  # only at terminal nodes
+        self.lower = lower
+        self.upper = upper
+
+
+class PHTreeIndex:
+    """A simplified PH-tree over quantised high-dimensional points."""
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        bits: int = 16,
+        leaf_capacity: int = 8,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or len(vectors) == 0:
+            raise IndexError_("vectors must be a non-empty (n, d) array")
+        if not 1 <= bits <= 32:
+            raise IndexError_("bits must be in [1, 32]")
+        self._vectors = vectors
+        self.bits = bits
+        self.leaf_capacity = leaf_capacity
+        self.counters = AccessCounters()
+        self.dim = vectors.shape[1]
+        self._lo = vectors.min(axis=0)
+        span = vectors.max(axis=0) - self._lo
+        self._scale = (2**bits - 1) / np.maximum(span, 1e-12)
+        self._quantised = self._quantise(vectors)
+        if self.dim > 62:
+            raise IndexError_("PHTreeIndex supports at most 62 dimensions")
+        self._pow2 = (1 << np.arange(self.dim - 1, -1, -1)).astype(np.int64)
+        self._root = _Node(
+            bits - 1, self._lo.copy(), self._lo + (2**bits - 1) / self._scale
+        )
+        self._node_count = 1
+        for ident in range(len(vectors)):
+            self._insert(ident)
+
+    # -- construction ----------------------------------------------------
+
+    def _quantise(self, vectors: np.ndarray) -> np.ndarray:
+        q = np.round((vectors - self._lo) * self._scale)
+        return np.clip(q, 0, 2**self.bits - 1).astype(np.uint64)
+
+    def _hc_address(self, point: np.ndarray, bit: int) -> int:
+        """The d-bit hypercube address of ``point`` at bit level ``bit``."""
+        bits = ((point >> np.uint64(bit)) & np.uint64(1)).astype(np.int64)
+        return int(bits @ self._pow2)
+
+    def _insert(self, ident: int) -> None:
+        q = self._quantised[ident]
+        node = self._root
+        while True:
+            if node.bit < 0:
+                node.points.append(ident)
+                return
+            if not node.children and len(node.points) < self.leaf_capacity:
+                node.points.append(ident)
+                return
+            # Burst a saturated terminal node into children first.
+            if node.points and node.bit >= 0:
+                burst, node.points = node.points, []
+                for other in burst:
+                    self._push_down(node, other)
+            self._push_down(node, ident)
+            return
+
+    def _push_down(self, node: _Node, ident: int) -> None:
+        q = self._quantised[ident]
+        current = node
+        while True:
+            address = self._hc_address(q, current.bit)
+            child = current.children.get(address)
+            if child is None:
+                child = self._make_child(current, address)
+                current.children[address] = child
+                self._node_count += 1
+            if child.bit < 0 or (
+                not child.children and len(child.points) < self.leaf_capacity
+            ):
+                child.points.append(ident)
+                return
+            if child.points:
+                burst, child.points = child.points, []
+                for other in burst:
+                    self._relocate(child, other)
+            current = child
+
+    def _relocate(self, node: _Node, ident: int) -> None:
+        self._push_down(node, ident)
+
+    def _make_child(self, parent: _Node, address: int) -> _Node:
+        """Child region box: halve the parent region per the address bits."""
+        lower = parent.lower.copy()
+        upper = parent.upper.copy()
+        mid = (lower + upper) / 2.0
+        for d in range(self.dim):
+            bit = (address >> (self.dim - 1 - d)) & 1
+            if bit:
+                lower[d] = mid[d]
+            else:
+                upper[d] = mid[d]
+        return _Node(parent.bit - 1, lower, upper)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def knn(
+        self,
+        query_point: np.ndarray,
+        k: int,
+        exclude: set[int] | frozenset[int] = frozenset(),
+    ) -> list[tuple[int, float]]:
+        """Best-first k-nearest-neighbour search.
+
+        Returns ``(id, distance)`` pairs in increasing distance. Node
+        regions prune by min-distance; at high dimensionality pruning is
+        weak and the search degenerates toward a scan — by design, this
+        is the phenomenon the baseline reproduces.
+        """
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        query_point = np.asarray(query_point, dtype=np.float64)
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Node]] = [(0.0, next(counter), self._root)]
+        best: list[tuple[float, int]] = []  # max-heap via negation
+
+        def kth() -> float:
+            return -best[0][0] if len(best) >= k else np.inf
+
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if dist > kth():
+                break
+            self.counters.internal_accesses += 1
+            for ident in node.points:
+                self.counters.points_examined += 1
+                if ident in exclude:
+                    continue
+                d = float(np.linalg.norm(self._vectors[ident] - query_point))
+                if len(best) < k:
+                    heapq.heappush(best, (-d, ident))
+                elif d < -best[0][0]:
+                    heapq.heapreplace(best, (-d, ident))
+            for child in node.children.values():
+                gaps = np.maximum(child.lower - query_point, 0.0) + np.maximum(
+                    query_point - child.upper, 0.0
+                )
+                child_dist = float(np.linalg.norm(gaps))
+                if child_dist <= kth():
+                    heapq.heappush(heap, (child_dist, next(counter), child))
+        result = [(ident, -neg) for neg, ident in best]
+        result.sort(key=lambda pair: (pair[1], pair[0]))
+        return result

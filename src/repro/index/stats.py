@@ -1,0 +1,100 @@
+"""Access counters and structural statistics for the indices.
+
+Wall-clock timings at laptop scale are noisy and constant-factor
+dependent; the counters here record the *algorithmic* quantities the
+paper's claims rest on — leaf pages touched, points examined, splits
+performed — and the structural statistics behind Figures 9-11 (node
+counts and index byte size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class AccessCounters:
+    """Mutable per-index operation counters."""
+
+    internal_accesses: int = 0
+    leaf_accesses: int = 0
+    partition_accesses: int = 0
+    points_examined: int = 0
+    splits: int = 0
+
+    def reset(self) -> None:
+        self.internal_accesses = 0
+        self.leaf_accesses = 0
+        self.partition_accesses = 0
+        self.points_examined = 0
+        self.splits = 0
+
+    def snapshot(self) -> "AccessCounters":
+        return AccessCounters(
+            self.internal_accesses,
+            self.leaf_accesses,
+            self.partition_accesses,
+            self.points_examined,
+            self.splits,
+        )
+
+    @property
+    def total_node_accesses(self) -> int:
+        return self.internal_accesses + self.leaf_accesses + self.partition_accesses
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Structural statistics of an index at a point in time.
+
+    ``byte_size`` is an analytic estimate: 8 bytes per coordinate of each
+    stored MBR corner, 8 bytes per child pointer / point id. Frontier
+    (unexpanded) partitions count one MBR + one pointer — their raw
+    point data lives in the shared store and is not index structure.
+    """
+
+    internal_nodes: int = 0
+    leaf_nodes: int = 0
+    frontier_elements: int = 0
+    byte_size: int = 0
+    splits_performed: int = 0
+    height: int = 0
+
+    @property
+    def node_count(self) -> int:
+        """Materialised node count (internal + leaf), as in Figure 9."""
+        return self.internal_nodes + self.leaf_nodes
+
+
+@dataclass(slots=True)
+class StatsAccumulator:
+    """Builder used while traversing a tree to compute :class:`IndexStats`."""
+
+    dim: int
+    internal_nodes: int = 0
+    leaf_nodes: int = 0
+    frontier_elements: int = 0
+    byte_size: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def add_internal(self, num_entries: int) -> None:
+        self.internal_nodes += 1
+        self.byte_size += num_entries * (16 * self.dim + 8)
+
+    def add_leaf(self, num_points: int) -> None:
+        self.leaf_nodes += 1
+        self.byte_size += 16 * self.dim + 8 * num_points
+
+    def add_frontier(self) -> None:
+        self.frontier_elements += 1
+        self.byte_size += 16 * self.dim + 8
+
+    def finish(self, splits_performed: int, height: int) -> IndexStats:
+        return IndexStats(
+            internal_nodes=self.internal_nodes,
+            leaf_nodes=self.leaf_nodes,
+            frontier_elements=self.frontier_elements,
+            byte_size=self.byte_size,
+            splits_performed=splits_performed,
+            height=height,
+        )

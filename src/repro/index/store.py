@@ -1,0 +1,107 @@
+"""The shared point store behind every R-tree variant.
+
+A :class:`PointStore` holds the S2 coordinates of all indexed entities
+(one row per entity id). Partitions, leaves and sort orders reference
+rows by id instead of copying coordinates, so the cracking index's
+incremental splits are cheap id-array operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.geometry import Rect
+
+
+class PointStore:
+    """An ``(n, dim)`` coordinate matrix with id-based access.
+
+    Rows are append-only in normal operation; :meth:`append` and
+    :meth:`update_row` exist for the dynamic-update extension. A row may
+    only be updated while no index partition references it (the caller —
+    the index's delete/reinsert cycle — maintains that contract); the
+    public ``coords`` view stays read-only.
+    """
+
+    def __init__(self, coords: np.ndarray) -> None:
+        coords = np.asarray(coords, dtype=np.float64).copy()
+        if coords.ndim != 2 or len(coords) == 0:
+            raise IndexError_("coords must be a non-empty (n, dim) array")
+        self._buffer = coords
+        self._size = len(coords)
+        # Scratch bool array reused by consistent sort-order splits.
+        self._scratch_mask = np.zeros(len(coords), dtype=bool)
+
+    @property
+    def coords(self) -> np.ndarray:
+        view = self._buffer[: self._size].view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def dim(self) -> int:
+        return self._buffer.shape[1]
+
+    # -- dynamic updates ---------------------------------------------------
+
+    def append(self, point: np.ndarray) -> int:
+        """Add a new point; returns its id (the next row index)."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dim,):
+            raise IndexError_(f"point must have shape ({self.dim},)")
+        if self._size == len(self._buffer):
+            grown = np.empty((max(8, 2 * len(self._buffer)), self.dim))
+            grown[: self._size] = self._buffer[: self._size]
+            self._buffer = grown
+            mask = np.zeros(len(grown), dtype=bool)
+            mask[: len(self._scratch_mask)] = self._scratch_mask
+            self._scratch_mask = mask
+        ident = self._size
+        self._buffer[ident] = point
+        self._size += 1
+        return ident
+
+    def update_row(self, ident: int, point: np.ndarray) -> None:
+        """Overwrite a row in place (delete/reinsert contract applies)."""
+        if not 0 <= ident < self._size:
+            raise IndexError_(f"id {ident} out of range")
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dim,):
+            raise IndexError_(f"point must have shape ({self.dim},)")
+        self._buffer[ident] = point
+
+    def points_of(self, ids: np.ndarray) -> np.ndarray:
+        """Coordinate rows of the given ids."""
+        return self._buffer[ids]
+
+    def mbr_of(self, ids: np.ndarray) -> Rect:
+        """Minimum bounding rectangle of the given ids."""
+        pts = self._buffer[ids]
+        return Rect(pts.min(axis=0), pts.max(axis=0))
+
+    def ids_in_rect(self, ids: np.ndarray, rect: Rect) -> np.ndarray:
+        """Subset of ``ids`` whose points fall inside ``rect``."""
+        mask = rect.contains_points(self._buffer[ids])
+        return ids[mask]
+
+    def count_in_rect(self, ids: np.ndarray, rect: Rect) -> int:
+        """Number of the given ids whose points fall inside ``rect``."""
+        return int(rect.contains_points(self._buffer[ids]).sum())
+
+    def borrow_mask(self, true_ids: np.ndarray) -> np.ndarray:
+        """Set the shared scratch mask True at ``true_ids`` and return it.
+
+        Callers must pair this with :meth:`release_mask` (same ids) before
+        the next borrow. Avoids allocating an ``n``-sized bool array per
+        binary split.
+        """
+        self._scratch_mask[true_ids] = True
+        return self._scratch_mask
+
+    def release_mask(self, true_ids: np.ndarray) -> None:
+        self._scratch_mask[true_ids] = False

@@ -1,0 +1,204 @@
+"""``TOP-KSPLITSINDEXBUILD`` (Algorithm 2): A* search over split choices.
+
+Where the greedy cracking tree commits to the single locally-best binary
+split, this variant explores the ``top_k`` best split choices at each
+step, maintaining a priority queue of *change candidates* — alternative
+decompositions of the contour element being cracked — ordered by the
+two-component cost ``(c_Q, c_O)``. A candidate is adopted only once all
+of its pending pieces satisfy the stopping condition (or have reached
+chunk size), at which point it is provably the cheapest completion:
+both cost components are non-decreasing along expansions, so the first
+fully-finished state popped from the queue is optimal (A* with a
+monotone cost, no heuristic term needed since the remaining cost is
+bounded below by the current one).
+
+A configurable expansion budget guards against pathological blow-up; on
+exhaustion the best in-flight candidate is completed greedily.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import IndexError_
+from repro.index.geometry import Rect
+from repro.index.node import FrontierEntry, InternalNode, TreeEntry
+from repro.index.partition import Partition
+from repro.index.rtree_base import RTreeBase
+from repro.index.store import PointStore
+
+
+@dataclass(order=True)
+class _Candidate:
+    """One change candidate (a contour-in-progress) in the A* queue."""
+
+    c_q: int
+    c_o: float
+    tiebreak: int
+    # (partition, is_chunk) pieces already satisfying the stopping
+    # condition / at chunk size; excluded from ordering comparisons.
+    finished: list = field(compare=False, default_factory=list)
+    # partitions still to examine, in DFS order.
+    pending: list = field(compare=False, default_factory=list)
+
+
+class TopKSplitsRTree(RTreeBase):
+    """Cracking R-tree with top-k split-choice A* search per element."""
+
+    def __init__(
+        self,
+        store: PointStore,
+        num_choices: int = 2,
+        leaf_capacity: int = 32,
+        fanout: int = 8,
+        beta: float = 1.5,
+        max_expansions: int = 120,
+    ) -> None:
+        if num_choices < 1:
+            raise IndexError_("num_choices must be >= 1")
+        if max_expansions < 1:
+            raise IndexError_("max_expansions must be >= 1")
+        self.num_choices = num_choices
+        self.max_expansions = max_expansions
+        super().__init__(store, leaf_capacity, fanout, beta)
+
+    def crack_and_search(self, query: Rect):
+        """Refine with A* split search for ``query`` and return the ids
+        inside it (mirrors :meth:`CrackingRTree.crack_and_search`)."""
+        self.refine(query)
+        return self.search(query)
+
+    # -- strategy override ---------------------------------------------------
+
+    def _partition_into(
+        self,
+        node: InternalNode,
+        partition: Partition,
+        query: Rect | None,
+        out_entries: list[TreeEntry],
+    ) -> None:
+        if query is None or self.num_choices == 1:
+            # Offline expansion (or k=1) degenerates to the greedy plan.
+            super()._partition_into(node, partition, query, out_entries)
+            return
+        best = self._astar_decompose(node, partition, query)
+        for part, is_chunk in best.finished:
+            if is_chunk:
+                child = FrontierEntry(
+                    part, height=node.height - 1, chunk_root=True
+                )
+                out_entries.append(self._refine_entry(child, query))
+            else:
+                out_entries.append(
+                    FrontierEntry(part, height=node.height, chunk_root=False)
+                )
+        self._overlap_cost_total += best.c_o
+
+    # -- A* search ------------------------------------------------------------
+
+    def _astar_decompose(
+        self, node: InternalNode, partition: Partition, query: Rect
+    ) -> _Candidate:
+        counter = itertools.count()
+        initial = _Candidate(
+            c_q=self._pages(partition.count_in(query)),
+            c_o=0.0,
+            tiebreak=next(counter),
+            finished=[],
+            pending=[partition],
+        )
+        queue: list[_Candidate] = [initial]
+        expansions = 0
+        while queue:
+            state = heapq.heappop(queue)
+            advanced = self._advance_finished(node, state, query)
+            if not advanced.pending:
+                return advanced
+            if expansions >= self.max_expansions:
+                return self._complete_greedily(node, advanced, query)
+            expansions += 1
+            part = advanced.pending[0]
+            rest = advanced.pending[1:]
+            choices = part.best_splits(
+                node.part_size,
+                query,
+                self.leaf_capacity,
+                self.beta,
+                node.height,
+                top_k=self.num_choices,
+            )
+            part_pages = self._pages(part.count_in(query))
+            for choice in choices:
+                low, high = part.apply_split(choice)
+                self._record_split(0.0)  # c_o accumulated on adoption
+                heapq.heappush(
+                    queue,
+                    _Candidate(
+                        c_q=advanced.c_q - part_pages + choice.c_q,
+                        c_o=advanced.c_o + choice.c_o,
+                        tiebreak=next(counter),
+                        finished=list(advanced.finished),
+                        pending=[low, high, *rest],
+                    ),
+                )
+        raise IndexError_("A* queue exhausted without a finished candidate")
+
+    def _advance_finished(
+        self, node: InternalNode, state: _Candidate, query: Rect
+    ) -> _Candidate:
+        """Move leading pending pieces that need no further split into the
+        finished list (the Algorithm 2 lines 6-10 skip loop)."""
+        finished = list(state.finished)
+        pending = list(state.pending)
+        while pending:
+            part = pending[0]
+            if part.size <= node.part_size:
+                finished.append((part, True))
+                pending.pop(0)
+            elif self._stop(part, query):
+                finished.append((part, False))
+                pending.pop(0)
+            else:
+                break
+        return _Candidate(
+            c_q=state.c_q,
+            c_o=state.c_o,
+            tiebreak=state.tiebreak,
+            finished=finished,
+            pending=pending,
+        )
+
+    def _complete_greedily(
+        self, node: InternalNode, state: _Candidate, query: Rect
+    ) -> _Candidate:
+        """Expansion budget exhausted: finish the best candidate with
+        greedy single-choice splits."""
+        finished = list(state.finished)
+        pending = list(state.pending)
+        c_o = state.c_o
+        while pending:
+            part = pending.pop(0)
+            if part.size <= node.part_size:
+                finished.append((part, True))
+                continue
+            if self._stop(part, query):
+                finished.append((part, False))
+                continue
+            choice = self._select_split(part, node.part_size, query, node.height)
+            low, high = part.apply_split(choice)
+            self._record_split(0.0)
+            c_o += choice.c_o
+            pending[:0] = [low, high]
+        return _Candidate(
+            c_q=state.c_q,
+            c_o=c_o,
+            tiebreak=state.tiebreak,
+            finished=finished,
+            pending=[],
+        )
+
+    def _pages(self, count: int) -> int:
+        return math.ceil(count / self.leaf_capacity)

@@ -1,0 +1,19 @@
+"""Knowledge-graph substrate: vocabularies, triple store, attributes,
+synthetic dataset generators, IO, statistics, and sampling utilities."""
+
+from repro.kg.attributes import AttributeTable
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.sampling import NegativeSampler, split_triples
+from repro.kg.stats import GraphStats, compute_stats
+from repro.kg.vocab import Vocabulary
+
+__all__ = [
+    "AttributeTable",
+    "KnowledgeGraph",
+    "Triple",
+    "NegativeSampler",
+    "split_triples",
+    "GraphStats",
+    "compute_stats",
+    "Vocabulary",
+]

@@ -1,0 +1,67 @@
+"""Per-entity attribute storage for aggregate queries.
+
+The paper's aggregate queries (SUM / AVG / MAX / MIN) aggregate a numeric
+attribute of the matched entities — e.g. a movie's ``year``, a product's
+``quality``, or an entity's ``popularity``. An :class:`AttributeTable`
+stores such columns sparsely: not every entity carries every attribute
+(users have no ``year``), and aggregate estimators must be able to tell
+"absent" apart from 0.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+class AttributeTable:
+    """A collection of sparse numeric columns keyed by entity id."""
+
+    def __init__(self) -> None:
+        self._columns: dict[str, dict[int, float]] = {}
+
+    def set(self, attribute: str, entity: int, value: float) -> None:
+        """Set ``attribute`` of ``entity`` to ``value``."""
+        self._columns.setdefault(attribute, {})[entity] = float(value)
+
+    def set_many(self, attribute: str, values: dict[int, float]) -> None:
+        """Bulk-set an attribute column from an ``{entity: value}`` dict."""
+        column = self._columns.setdefault(attribute, {})
+        for entity, value in values.items():
+            column[entity] = float(value)
+
+    def get(self, attribute: str, entity: int) -> float | None:
+        """Value of ``attribute`` for ``entity``, or None when absent."""
+        column = self._columns.get(attribute)
+        if column is None:
+            return None
+        return column.get(entity)
+
+    def has(self, attribute: str, entity: int) -> bool:
+        column = self._columns.get(attribute, {})
+        return entity in column
+
+    def column(self, attribute: str) -> dict[int, float]:
+        """The full ``{entity: value}`` mapping for ``attribute`` (a copy)."""
+        return dict(self._columns.get(attribute, {}))
+
+    def values_for(self, attribute: str, entities: Iterable[int]) -> np.ndarray:
+        """Values of ``attribute`` for ``entities`` that carry it.
+
+        Entities missing the attribute are silently dropped, matching the
+        SQL semantics of aggregating a possibly-NULL column.
+        """
+        column = self._columns.get(attribute, {})
+        vals = [column[e] for e in entities if e in column]
+        return np.array(vals, dtype=np.float64)
+
+    def attribute_names(self) -> list[str]:
+        return sorted(self._columns)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._columns
+
+    def __repr__(self) -> str:
+        sizes = {name: len(col) for name, col in self._columns.items()}
+        return f"AttributeTable({sizes})"

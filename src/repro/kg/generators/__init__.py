@@ -1,0 +1,21 @@
+"""Synthetic knowledge-graph dataset generators.
+
+The paper evaluates on Freebase, MovieLens and Amazon dumps that are
+multi-gigabyte downloads; these generators produce scaled-down graphs
+with the same *shape* — typed entities, multiple relation types,
+power-law degree distributions, latent-preference structure and numeric
+entity attributes — so index behaviour and query accuracy transfer.
+"""
+
+from repro.kg.generators.amazon import amazon_like
+from repro.kg.generators.base import LatentFactorWorld, RelationSpec
+from repro.kg.generators.freebase import freebase_like
+from repro.kg.generators.movielens import movielens_like
+
+__all__ = [
+    "LatentFactorWorld",
+    "RelationSpec",
+    "freebase_like",
+    "movielens_like",
+    "amazon_like",
+]

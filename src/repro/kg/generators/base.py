@@ -1,0 +1,198 @@
+"""Latent-factor generative core shared by the dataset generators.
+
+Every entity belongs to a *type* (user, movie, product, genre, ...) and
+carries a hidden latent vector plus a Zipf-distributed popularity weight.
+Edges of a relation type are sampled so that
+
+- head entities are drawn popularity-weighted within the head type
+  (producing the power-law degrees real KGs exhibit), and
+- tail entities are drawn by softmax over latent affinity (optionally
+  negated, e.g. for a "dislikes" relation) blended with tail popularity.
+
+Because edges reflect latent affinity, a translational embedding trained
+on the generated graph recovers genuine structure, which makes
+precision@K against a ground-truth ranking meaningful — the property the
+paper's accuracy experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class RelationSpec:
+    """Recipe for sampling one relation type's edges.
+
+    Parameters
+    ----------
+    name:
+        Relation-type name registered in the graph.
+    head_type, tail_type:
+        Entity types the relation connects.
+    num_edges:
+        Target number of distinct edges to sample.
+    affinity_sign:
+        +1 samples tails the head *likes* (high latent affinity),
+        -1 samples tails it dislikes (low affinity), 0 ignores affinity.
+    temperature:
+        Softmax temperature for tail choice; lower is more deterministic.
+    """
+
+    name: str
+    head_type: str
+    tail_type: str
+    num_edges: int
+    affinity_sign: float = 1.0
+    temperature: float = 0.5
+
+
+@dataclass
+class LatentFactorWorld:
+    """The hidden ground truth behind a generated graph.
+
+    Exposed so tests and accuracy evaluations can compare predicted
+    rankings against the latent affinities that actually produced the
+    edges.
+    """
+
+    latent_dim: int
+    entity_type: dict[int, str] = field(default_factory=dict)
+    type_members: dict[str, list[int]] = field(default_factory=dict)
+    latent: np.ndarray | None = None
+    popularity: np.ndarray | None = None
+
+    def members(self, type_name: str) -> list[int]:
+        return self.type_members.get(type_name, [])
+
+    def affinity(self, head: int, tail: int) -> float:
+        """Ground-truth affinity score between two entities."""
+        assert self.latent is not None
+        return float(self.latent[head] @ self.latent[tail])
+
+
+class GraphBuilder:
+    """Incrementally builds a typed latent-factor knowledge graph.
+
+    Entities are organised into latent *communities* (shared across
+    types): each entity's latent vector is its community's center plus
+    small noise. Real knowledge-graph embeddings are strongly clustered
+    by type and topic, and that clustering is what makes the paper's
+    query regions small relative to the embedding space; a flat Gaussian
+    latent model would make every k-NN ball span most of the data.
+    """
+
+    # Tail-candidate pool size per edge draw; a sampled shortlist keeps
+    # generation O(edges * pool) instead of O(edges * entities).
+    _CANDIDATE_POOL = 128
+
+    def __init__(
+        self,
+        name: str,
+        latent_dim: int = 16,
+        num_communities: int = 12,
+        community_noise: float = 0.25,
+        zipf_exponent: float = 1.1,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if num_communities < 1:
+            raise ValueError("num_communities must be >= 1")
+        self.graph = KnowledgeGraph(name=name)
+        self.world = LatentFactorWorld(latent_dim=latent_dim)
+        self._zipf_exponent = zipf_exponent
+        self._rng = ensure_rng(seed)
+        self._latent_rows: list[np.ndarray] = []
+        self._popularity_rows: list[float] = []
+        centers = self._rng.normal(size=(num_communities, latent_dim))
+        self._centers = centers / np.linalg.norm(centers, axis=1, keepdims=True)
+        self._community_noise = community_noise
+        # Zipf-weighted community sizes: a few dominant topics.
+        weights = 1.0 / np.arange(1, num_communities + 1)
+        self._community_weights = weights / weights.sum()
+
+    def add_entities(self, type_name: str, names: list[str]) -> list[int]:
+        """Register entities of one type; returns their ids."""
+        ids: list[int] = []
+        members = self.world.type_members.setdefault(type_name, [])
+        communities = self._rng.choice(
+            len(self._centers), size=len(names), p=self._community_weights
+        )
+        for name, community in zip(names, communities):
+            ident = self.graph.add_entity(name)
+            self.graph.set_entity_type(ident, type_name)
+            self.world.entity_type[ident] = type_name
+            members.append(ident)
+            ids.append(ident)
+            latent = self._centers[community] + self._community_noise * (
+                self._rng.normal(size=self.world.latent_dim)
+                / np.sqrt(self.world.latent_dim)
+            )
+            self._latent_rows.append(latent)
+            # Zipf-like popularity: rank within type raised to -exponent.
+            rank = len(members)
+            self._popularity_rows.append(rank ** (-self._zipf_exponent))
+        return ids
+
+    def _finalize_world(self) -> None:
+        self.world.latent = np.array(self._latent_rows)
+        self.world.popularity = np.array(self._popularity_rows)
+
+    def sample_relation(self, spec: RelationSpec) -> int:
+        """Sample ``spec.num_edges`` distinct edges; returns edges added."""
+        self._finalize_world()
+        heads = self.world.members(spec.head_type)
+        tails = self.world.members(spec.tail_type)
+        if not heads or not tails:
+            raise ValueError(
+                f"relation {spec.name!r} references empty type(s): "
+                f"{spec.head_type!r} or {spec.tail_type!r}"
+            )
+        relation = self.graph.add_relation(spec.name)
+        head_ids = np.array(heads)
+        tail_ids = np.array(tails)
+        head_weights = self.world.popularity[head_ids]
+        head_weights = head_weights / head_weights.sum()
+        tail_pop = self.world.popularity[tail_ids]
+        tail_pop = tail_pop / tail_pop.sum()
+
+        added = 0
+        attempts = 0
+        max_attempts = spec.num_edges * 20
+        while added < spec.num_edges and attempts < max_attempts:
+            attempts += 1
+            head = int(self._rng.choice(head_ids, p=head_weights))
+            tail = self._draw_tail(head, tail_ids, tail_pop, spec)
+            if tail == head:
+                continue
+            if self.graph.add_triple(head, relation, tail):
+                added += 1
+        return added
+
+    def _draw_tail(
+        self,
+        head: int,
+        tail_ids: np.ndarray,
+        tail_pop: np.ndarray,
+        spec: RelationSpec,
+    ) -> int:
+        pool_size = min(self._CANDIDATE_POOL, len(tail_ids))
+        pool_idx = self._rng.choice(len(tail_ids), size=pool_size, replace=False, p=tail_pop)
+        candidates = tail_ids[pool_idx]
+        if spec.affinity_sign == 0.0:
+            return int(self._rng.choice(candidates))
+        affinities = self.world.latent[candidates] @ self.world.latent[head]
+        logits = spec.affinity_sign * affinities / spec.temperature
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        return int(self._rng.choice(candidates, p=probs))
+
+    def finish(self) -> tuple[KnowledgeGraph, LatentFactorWorld]:
+        """Finalize ground-truth arrays and return (graph, world)."""
+        self._finalize_world()
+        return self.graph, self.world

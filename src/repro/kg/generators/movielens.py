@@ -1,0 +1,67 @@
+"""A scaled-down MovieLens-like knowledge graph.
+
+Mirrors the paper's construction over MovieLens: users, movies, genres
+and tags, with relations ``likes`` (rating >= 4.0), ``dislikes``
+(rating <= 2.0), ``has-genres`` and ``has-tags``. Each movie carries a
+``year`` attribute, the column aggregated by the paper's AVG (Fig. 13)
+and MIN (Fig. 16) queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.generators.base import GraphBuilder, LatentFactorWorld, RelationSpec
+from repro.kg.graph import KnowledgeGraph
+from repro.rng import ensure_rng
+
+
+def movielens_like(
+    num_users: int = 900,
+    num_movies: int = 1500,
+    num_genres: int = 18,
+    num_tags: int = 120,
+    num_ratings: int = 14000,
+    like_fraction: float = 0.7,
+    num_communities: int = 16,
+    seed: int | np.random.Generator | None = 11,
+) -> tuple[KnowledgeGraph, LatentFactorWorld]:
+    """Generate a MovieLens-like graph; returns ``(graph, ground_truth)``.
+
+    ``num_ratings`` is split between ``likes`` and ``dislikes`` edges by
+    ``like_fraction``. Likes follow positive latent affinity, dislikes
+    negative affinity — so the two relations carry opposite semantics,
+    the property the paper uses to argue a holistic multi-relation index
+    beats single-relation H2-ALSH.
+    """
+    rng = ensure_rng(seed)
+    builder = GraphBuilder(name="movielens-like", latent_dim=16, num_communities=num_communities, seed=rng)
+    builder.add_entities("user", [f"user:{i}" for i in range(num_users)])
+    builder.add_entities("movie", [f"movie:{i}" for i in range(num_movies)])
+    builder.add_entities("genre", [f"genre:{i}" for i in range(num_genres)])
+    builder.add_entities("tag", [f"tag:{i}" for i in range(num_tags)])
+
+    n_likes = int(round(like_fraction * num_ratings))
+    builder.sample_relation(
+        RelationSpec("likes", "user", "movie", n_likes, affinity_sign=1.0)
+    )
+    builder.sample_relation(
+        RelationSpec(
+            "dislikes", "user", "movie", num_ratings - n_likes, affinity_sign=-1.0
+        )
+    )
+    builder.sample_relation(
+        RelationSpec(
+            "has-genres", "movie", "genre", num_movies * 2, affinity_sign=1.0
+        )
+    )
+    builder.sample_relation(
+        RelationSpec("has-tags", "movie", "tag", num_movies, affinity_sign=1.0)
+    )
+
+    graph, world = builder.finish()
+    years = {
+        m: float(rng.integers(1930, 2019)) for m in world.members("movie")
+    }
+    graph.attributes.set_many("year", years)
+    return graph, world

@@ -1,0 +1,90 @@
+"""Triple sampling utilities: train/test splits and negative sampling.
+
+Negative sampling follows the TransE recipe [Bordes et al., NIPS 2013]:
+for each positive triple, corrupt either the head or the tail with a
+uniformly random entity, rejecting corruptions that are themselves known
+positives ("filtered" negatives) to avoid training on false negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.rng import ensure_rng
+
+
+def split_triples(
+    graph: KnowledgeGraph,
+    test_fraction: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[list[Triple], list[Triple]]:
+    """Randomly split the graph's triples into (train, test) lists.
+
+    The split is by triple, not by entity, mirroring how the paper masks
+    edges to build evaluation queries. ``test_fraction`` of triples go to
+    the test list (at least one when the graph is non-empty and the
+    fraction is positive).
+    """
+    if not 0.0 <= test_fraction < 1.0:
+        raise ValueError("test_fraction must be in [0, 1)")
+    rng = ensure_rng(seed)
+    triples = list(graph.triples())
+    if not triples or test_fraction == 0.0:
+        return triples, []
+    n_test = max(1, int(round(test_fraction * len(triples))))
+    order = rng.permutation(len(triples))
+    test_idx = set(order[:n_test].tolist())
+    train = [t for i, t in enumerate(triples) if i not in test_idx]
+    test = [t for i, t in enumerate(triples) if i in test_idx]
+    return train, test
+
+
+class NegativeSampler:
+    """Vectorised filtered negative sampling over a knowledge graph."""
+
+    def __init__(
+        self, graph: KnowledgeGraph, seed: int | np.random.Generator | None = 0
+    ) -> None:
+        self._graph = graph
+        self._rng = ensure_rng(seed)
+        self._num_entities = graph.num_entities
+
+    def corrupt_batch(self, batch: np.ndarray, max_retries: int = 10) -> np.ndarray:
+        """Corrupt each ``(h, r, t)`` row of ``batch``.
+
+        For every row, either the head or the tail (chosen uniformly) is
+        replaced by a random entity. Corruptions that reproduce a known
+        triple are re-drawn up to ``max_retries`` times, after which the
+        (rare) residual false negatives are accepted — the standard
+        approximation used by embedding trainers.
+
+        Returns a new array of the same shape; ``batch`` is unmodified.
+        """
+        if batch.ndim != 2 or batch.shape[1] != 3:
+            raise ValueError("batch must be an (n, 3) array of (h, r, t) rows")
+        corrupted = batch.copy()
+        n = len(corrupted)
+        corrupt_head = self._rng.random(n) < 0.5
+        corrupted[corrupt_head, 0] = self._rng.integers(
+            0, self._num_entities, size=int(corrupt_head.sum())
+        )
+        corrupted[~corrupt_head, 2] = self._rng.integers(
+            0, self._num_entities, size=int((~corrupt_head).sum())
+        )
+        for _ in range(max_retries):
+            clashes = [
+                i
+                for i in range(n)
+                if self._graph.has_triple(
+                    int(corrupted[i, 0]), int(corrupted[i, 1]), int(corrupted[i, 2])
+                )
+            ]
+            if not clashes:
+                break
+            for i in clashes:
+                if corrupt_head[i]:
+                    corrupted[i, 0] = self._rng.integers(0, self._num_entities)
+                else:
+                    corrupted[i, 2] = self._rng.integers(0, self._num_entities)
+        return corrupted

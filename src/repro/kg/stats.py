@@ -1,0 +1,125 @@
+"""Dataset statistics (Table I of the paper) and degree distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStats:
+    """The headline statistics the paper reports per dataset (Table I)."""
+
+    name: str
+    num_entities: int
+    num_relation_types: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+
+    def as_row(self) -> tuple[str, int, int, int]:
+        """The (dataset, entities, relationship types, edges) Table I row."""
+        return (self.name, self.num_entities, self.num_relation_types, self.num_edges)
+
+
+def compute_stats(graph: KnowledgeGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees = degree_sequence(graph)
+    mean_degree = float(degrees.mean()) if degrees.size else 0.0
+    max_degree = int(degrees.max()) if degrees.size else 0
+    return GraphStats(
+        name=graph.name,
+        num_entities=graph.num_entities,
+        num_relation_types=graph.num_relations,
+        num_edges=graph.num_triples,
+        mean_degree=mean_degree,
+        max_degree=max_degree,
+    )
+
+
+def degree_sequence(graph: KnowledgeGraph) -> np.ndarray:
+    """Total degree (in + out) of every entity, as an int64 array."""
+    return np.array(
+        [graph.degree(e) for e in range(graph.num_entities)], dtype=np.int64
+    )
+
+
+def degree_histogram(graph: KnowledgeGraph) -> dict[int, int]:
+    """``{degree: entity count}`` — real KGs follow a power law here."""
+    histogram: dict[int, int] = {}
+    for degree in degree_sequence(graph):
+        histogram[int(degree)] = histogram.get(int(degree), 0) + 1
+    return histogram
+
+
+@dataclass(frozen=True, slots=True)
+class RelationProfile:
+    """Cardinality profile of one relation type.
+
+    ``heads_per_tail`` / ``tails_per_head`` are the mean multiplicities;
+    the classification follows the TransE paper's 1-1 / 1-N / N-1 / N-N
+    taxonomy with the customary threshold of 1.5.
+    """
+
+    relation: int
+    name: str
+    num_edges: int
+    tails_per_head: float
+    heads_per_tail: float
+
+    @property
+    def category(self) -> str:
+        many_tails = self.tails_per_head > 1.5
+        many_heads = self.heads_per_tail > 1.5
+        if many_tails and many_heads:
+            return "N-N"
+        if many_tails:
+            return "1-N"
+        if many_heads:
+            return "N-1"
+        return "1-1"
+
+
+def relation_profiles(graph: KnowledgeGraph) -> list[RelationProfile]:
+    """Per-relation cardinality profiles (1-1 / 1-N / N-1 / N-N).
+
+    Useful when choosing an embedding model: plain TransE struggles on
+    N-side roles, which the TransH/TransA variants address.
+    """
+    edges: dict[int, int] = {}
+    heads: dict[int, set[int]] = {}
+    tails: dict[int, set[int]] = {}
+    for triple in graph.triples():
+        edges[triple.relation] = edges.get(triple.relation, 0) + 1
+        heads.setdefault(triple.relation, set()).add(triple.head)
+        tails.setdefault(triple.relation, set()).add(triple.tail)
+    profiles = []
+    for relation in sorted(edges):
+        count = edges[relation]
+        profiles.append(
+            RelationProfile(
+                relation=relation,
+                name=graph.relations.name_of(relation),
+                num_edges=count,
+                tails_per_head=count / len(heads[relation]),
+                heads_per_tail=count / len(tails[relation]),
+            )
+        )
+    return profiles
+
+
+def powerlaw_tail_fraction(graph: KnowledgeGraph, quantile: float = 0.9) -> float:
+    """Fraction of edges incident to the top ``1 - quantile`` of entities.
+
+    A quick skewness check: in a power-law graph a small head of entities
+    carries most of the edge mass. Returns 0.0 for an empty graph.
+    """
+    degrees = degree_sequence(graph)
+    if degrees.size == 0 or degrees.sum() == 0:
+        return 0.0
+    order = np.sort(degrees)[::-1]
+    head = order[: max(1, int(round((1.0 - quantile) * degrees.size)))]
+    return float(head.sum() / degrees.sum())

@@ -1,0 +1,61 @@
+"""Bidirectional string <-> integer-id vocabularies.
+
+Entities and relation types are referred to by stable integer ids inside
+the library (embedding matrices, index point ids); a :class:`Vocabulary`
+maps human-readable names to those ids and back.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+
+class Vocabulary:
+    """An append-only mapping between names and dense integer ids.
+
+    Ids are assigned in insertion order starting at 0, which makes the
+    vocabulary directly usable as the row index of an embedding matrix.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its id."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_name)
+        self._name_to_id[name] = new_id
+        self._id_to_name.append(name)
+        return new_id
+
+    def id_of(self, name: str) -> int:
+        """Return the id of ``name``, raising if it is unknown."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise VocabularyError(f"unknown name: {name!r}") from None
+
+    def name_of(self, ident: int) -> str:
+        """Return the name registered for ``ident``."""
+        if 0 <= ident < len(self._id_to_name):
+            return self._id_to_name[ident]
+        raise VocabularyError(f"unknown id: {ident}")
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_name)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

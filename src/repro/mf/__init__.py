@@ -1,0 +1,12 @@
+"""Matrix-factorisation collaborative filtering substrate.
+
+H2-ALSH (the closest prior work the paper compares against) performs
+maximum-inner-product search over collaborative-filtering factors of a
+*single* relation type. This package provides that substrate: an
+implicit-feedback alternating-least-squares factoriser producing the
+user and item vectors H2-ALSH indexes.
+"""
+
+from repro.mf.als import ALSConfig, ALSResult, factorize_relation
+
+__all__ = ["ALSConfig", "ALSResult", "factorize_relation"]

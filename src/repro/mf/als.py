@@ -1,0 +1,126 @@
+"""Implicit-feedback alternating least squares (Hu-Koren-Volinsky style).
+
+Factorises the interaction matrix of one relation type (e.g. ``likes``
+edges from users to movies) into user and item factor matrices ``U`` and
+``V`` such that ``U[u] @ V[i]`` predicts interaction strength. This is
+the collaborative-filtering model the H2-ALSH baseline searches over —
+and the reason H2-ALSH fundamentally handles only *one* relation type,
+the limitation the paper's holistic KG-embedding approach removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.kg.graph import KnowledgeGraph
+from repro.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class ALSConfig:
+    """ALS hyperparameters (defaults suit the synthetic datasets)."""
+
+    factors: int = 16
+    regularization: float = 0.1
+    confidence: float = 20.0
+    iterations: int = 12
+    seed: int = 0
+
+
+@dataclass
+class ALSResult:
+    """Factorisation output with id mappings back to graph entities.
+
+    ``user_factors[i]`` corresponds to graph entity ``user_ids[i]``;
+    likewise for items.
+    """
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+    user_ids: np.ndarray
+    item_ids: np.ndarray
+
+    def user_row(self, entity: int) -> int:
+        rows = np.flatnonzero(self.user_ids == entity)
+        if len(rows) == 0:
+            raise ReproError(f"entity {entity} is not a user in this factorisation")
+        return int(rows[0])
+
+    def item_row(self, entity: int) -> int:
+        rows = np.flatnonzero(self.item_ids == entity)
+        if len(rows) == 0:
+            raise ReproError(f"entity {entity} is not an item in this factorisation")
+        return int(rows[0])
+
+
+def factorize_relation(
+    graph: KnowledgeGraph, relation_name: str, config: ALSConfig | None = None
+) -> ALSResult:
+    """Factorise the bipartite interaction matrix of one relation type.
+
+    Heads of the relation become "users", tails become "items". Raises
+    :class:`~repro.errors.ReproError` if the relation has no edges.
+    """
+    config = config or ALSConfig()
+    relation = graph.relations.id_of(relation_name)
+    pairs = [
+        (t.head, t.tail) for t in graph.triples() if t.relation == relation
+    ]
+    if not pairs:
+        raise ReproError(f"relation {relation_name!r} has no edges")
+    user_ids = np.array(sorted({h for h, _ in pairs}))
+    item_ids = np.array(sorted({t for _, t in pairs}))
+    user_row = {int(u): i for i, u in enumerate(user_ids)}
+    item_row = {int(v): i for i, v in enumerate(item_ids)}
+
+    # Interaction lists per user and per item.
+    by_user: list[list[int]] = [[] for _ in user_ids]
+    by_item: list[list[int]] = [[] for _ in item_ids]
+    for head, tail in pairs:
+        by_user[user_row[head]].append(item_row[tail])
+        by_item[item_row[tail]].append(user_row[head])
+
+    rng = ensure_rng(config.seed)
+    f = config.factors
+    users = rng.normal(scale=0.1, size=(len(user_ids), f))
+    items = rng.normal(scale=0.1, size=(len(item_ids), f))
+    identity = config.regularization * np.eye(f)
+    alpha = config.confidence
+
+    for _ in range(config.iterations):
+        _als_half_step(users, items, by_user, identity, alpha)
+        _als_half_step(items, users, by_item, identity, alpha)
+
+    return ALSResult(
+        user_factors=users,
+        item_factors=items,
+        user_ids=user_ids,
+        item_ids=item_ids,
+    )
+
+
+def _als_half_step(
+    target: np.ndarray,
+    other: np.ndarray,
+    interactions: list[list[int]],
+    reg_identity: np.ndarray,
+    alpha: float,
+) -> None:
+    """Solve the ridge systems for one side with the other side fixed.
+
+    Uses the implicit-feedback objective: confidence ``1 + alpha`` on
+    observed pairs, 1 on unobserved, preference 1/0.
+    """
+    gram = other.T @ other  # the "Y^T Y" term shared by all rows
+    f = target.shape[1]
+    for row, liked in enumerate(interactions):
+        if not liked:
+            target[row] = 0.0
+            continue
+        y = other[liked]  # (n_i, f)
+        a = gram + alpha * (y.T @ y) + reg_identity
+        b = (1.0 + alpha) * y.sum(axis=0)
+        target[row] = np.linalg.solve(a, b)

@@ -1,0 +1,136 @@
+"""Persistence of trained artifacts: graph, embedding, transform, config.
+
+An engine's expensive state is the embedding and the JL projection
+matrix; the cracking index is deliberately *not* persisted — it is
+query-workload state that rebuilds itself for free (that is the entire
+point of the paper). :func:`save_engine` therefore writes:
+
+- ``graph.tsv`` / ``attributes.tsv`` / ``types.json`` — the knowledge
+  graph (triples, entity attributes, entity type tags);
+- ``arrays.npz`` — entity matrix, relation matrix, projection matrix;
+- ``meta.json`` — engine configuration (alpha, epsilon, index variant,
+  tree parameters).
+
+:func:`load_engine` restores a fully functional engine whose answers are
+bit-identical to the saved one's (same vectors, same projection).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.errors import ReproError
+from repro.index.store import PointStore
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import load_attributes, load_triples, save_attributes, save_triples
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.transform.jl import JLTransform
+
+_FORMAT_VERSION = 1
+
+
+def save_engine(engine: QueryEngine, directory: str | os.PathLike[str]) -> None:
+    """Persist ``engine`` (graph + embedding + transform + config)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    graph = engine.graph
+    save_triples(graph, path / "graph.tsv")
+    save_attributes(graph, path / "attributes.tsv")
+    types = {
+        graph.entities.name_of(e): t
+        for e in range(graph.num_entities)
+        if (t := graph.entity_type(e)) is not None
+    }
+    (path / "types.json").write_text(json.dumps(types))
+    np.savez_compressed(
+        path / "arrays.npz",
+        entities=engine.model.entity_vectors(),
+        relations=engine.model.relation_vectors(),
+        projection=np.asarray(engine.transform.matrix),
+        entity_names=np.array(list(graph.entities), dtype=object),
+        relation_names=np.array(list(graph.relations), dtype=object),
+    )
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "graph_name": graph.name,
+        "alpha": engine.transform.alpha,
+        "epsilon": engine.epsilon,
+        "index": _index_variant_name(engine.index),
+        "leaf_capacity": engine.index.leaf_capacity,
+        "fanout": engine.index.fanout,
+        "beta": engine.index.beta,
+    }
+    (path / "meta.json").write_text(json.dumps(meta, indent=2))
+
+
+def load_engine(directory: str | os.PathLike[str]) -> QueryEngine:
+    """Restore an engine saved by :func:`save_engine`.
+
+    The embedding comes back as a frozen
+    :class:`~repro.embedding.pretrained.PretrainedEmbedding` (training
+    state such as optimiser momenta is not persisted); the JL projection
+    is restored exactly, so S2 coordinates — and therefore all query
+    answers — match the saved engine's.
+    """
+    path = Path(directory)
+    meta = json.loads((path / "meta.json").read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported artifact format: {meta.get('format_version')!r}"
+        )
+    with np.load(path / "arrays.npz", allow_pickle=True) as arrays:
+        entities = arrays["entities"]
+        relations = arrays["relations"]
+        projection = arrays["projection"]
+        entity_names = [str(n) for n in arrays["entity_names"]]
+        relation_names = [str(n) for n in arrays["relation_names"]]
+
+    graph = KnowledgeGraph(name=meta["graph_name"])
+    # Register names first so ids match the saved matrices even for
+    # entities that appear in no triple.
+    for name in entity_names:
+        graph.add_entity(name)
+    for name in relation_names:
+        graph.add_relation(name)
+    load_triples(path / "graph.tsv", graph=graph)
+    load_attributes(graph, path / "attributes.tsv")
+    types = json.loads((path / "types.json").read_text())
+    for name, type_name in types.items():
+        graph.set_entity_type(graph.entities.id_of(name), type_name)
+
+    model = PretrainedEmbedding(entities, relations)
+    transform = _transform_from_matrix(projection)
+    store = PointStore(transform(entities))
+    config = EngineConfig(
+        alpha=meta["alpha"],
+        epsilon=meta["epsilon"],
+        index=meta["index"],
+        leaf_capacity=meta["leaf_capacity"],
+        fanout=meta["fanout"],
+        beta=meta["beta"],
+    )
+    index = QueryEngine._make_index(store, config)
+    return QueryEngine(graph, model, transform, index, epsilon=meta["epsilon"])
+
+
+def _index_variant_name(index) -> str:
+    from repro.index.bulkload import BulkLoadedRTree
+    from repro.index.topk_splits import TopKSplitsRTree
+
+    if isinstance(index, BulkLoadedRTree):
+        return "bulk"
+    if isinstance(index, TopKSplitsRTree):
+        return f"topk{index.num_choices}"
+    return "cracking"
+
+
+def _transform_from_matrix(matrix: np.ndarray) -> JLTransform:
+    """Rebuild a JLTransform around a stored (scaled) projection matrix."""
+    transform = JLTransform(matrix.shape[1], matrix.shape[0], seed=0)
+    transform._matrix = np.array(matrix, dtype=np.float64)
+    return transform

@@ -1,0 +1,21 @@
+"""Query processing over the virtual knowledge graph: top-k entity
+queries (Algorithm 3), aggregate/statistical queries (Section V-B), and
+the high-level :class:`~repro.query.vkg.VirtualKnowledgeGraph` facade."""
+
+from repro.query.aggregates import AggregateEstimate, AggregateProcessor
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.query.probability import InverseDistanceProbability
+from repro.query.topk import TopKResult, find_topk
+from repro.query.vkg import PredictedEdge, VirtualKnowledgeGraph
+
+__all__ = [
+    "AggregateEstimate",
+    "AggregateProcessor",
+    "EngineConfig",
+    "QueryEngine",
+    "InverseDistanceProbability",
+    "TopKResult",
+    "find_topk",
+    "PredictedEdge",
+    "VirtualKnowledgeGraph",
+]

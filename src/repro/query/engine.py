@@ -1,0 +1,336 @@
+"""The query engine: glue between graph, embedding, transform and index.
+
+A :class:`QueryEngine` owns the trained embedding model, the JL
+transform, the S2 point store and one spatial index variant, and exposes
+the two query families of the paper — top-k entity queries and aggregate
+queries — in both directions (given head find tails, given tail find
+heads), plus the exhaustive no-index baseline used as accuracy ground
+truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embedding.base import EmbeddingModel
+from repro.embedding.trainer import TrainConfig, train_model
+from repro.errors import QueryError
+from repro.index.bulkload import BulkLoadedRTree
+from repro.index.cracking import CrackingRTree
+from repro.index.linear import ExhaustiveScan
+from repro.index.store import PointStore
+from repro.index.topk_splits import TopKSplitsRTree
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregates import AggregateEstimate, AggregateProcessor
+from repro.query.probability import InverseDistanceProbability
+from repro.query.topk import TopKResult, find_topk
+from repro.transform.jl import JLTransform
+
+#: Known index variant names accepted by :class:`EngineConfig.index`.
+INDEX_VARIANTS = ("cracking", "topk2", "topk3", "topk4", "bulk")
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Configuration for building a :class:`QueryEngine` from a graph."""
+
+    alpha: int = 3
+    epsilon: float = 0.5
+    index: str = "cracking"
+    leaf_capacity: int = 32
+    fanout: int = 8
+    beta: float = 1.5
+    seed: int = 0
+    train: TrainConfig = field(default_factory=TrainConfig)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryExplain:
+    """EXPLAIN-style report for one top-k query."""
+
+    result: TopKResult
+    elapsed_seconds: float
+    internal_accesses: int
+    leaf_accesses: int
+    partition_accesses: int
+    splits_triggered: int
+    points_examined: int
+    scan_equivalent_points: int
+    index_stats: object
+
+    @property
+    def examined_fraction(self) -> float:
+        """Points examined relative to what a full scan would touch."""
+        if self.scan_equivalent_points == 0:
+            return 0.0
+        return self.points_examined / self.scan_equivalent_points
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable account of the query."""
+        return (
+            f"top-{len(self.result)} in {self.elapsed_seconds * 1000:.2f} ms: "
+            f"examined {self.points_examined}/{self.scan_equivalent_points} "
+            f"entities ({self.examined_fraction:.1%}), touched "
+            f"{self.internal_accesses} internal / {self.leaf_accesses} leaf / "
+            f"{self.partition_accesses} frontier elements, triggered "
+            f"{self.splits_triggered} splits; index now has "
+            f"{self.index_stats.node_count} nodes."
+        )
+
+
+class QueryEngine:
+    """Predictive query processing over one graph + model + index."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        model: EmbeddingModel,
+        transform: JLTransform,
+        index,
+        epsilon: float = 0.5,
+    ) -> None:
+        if not model.supports_spatial_queries:
+            raise QueryError(
+                "the embedding model must provide relation-independent "
+                "entity points (e.g. TransE) for spatial indexing"
+            )
+        self.graph = graph
+        self.model = model
+        self.transform = transform
+        self.index = index
+        self.epsilon = epsilon
+        self.s1_vectors = model.entity_vectors()
+        self._scan = ExhaustiveScan(self.s1_vectors)
+        self._aggregates = AggregateProcessor(
+            index, self.s1_vectors, transform, graph.attributes, epsilon=epsilon
+        )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: KnowledgeGraph,
+        config: EngineConfig | None = None,
+        model: EmbeddingModel | None = None,
+    ) -> "QueryEngine":
+        """Train (or reuse) an embedding, project to S2, build the index."""
+        config = config or EngineConfig()
+        if model is None:
+            model = train_model(graph, config.train).model
+        transform = JLTransform(model.dim, config.alpha, seed=config.seed)
+        store = PointStore(transform(model.entity_vectors()))
+        index = cls._make_index(store, config)
+        return cls(graph, model, transform, index, epsilon=config.epsilon)
+
+    @staticmethod
+    def _make_index(store: PointStore, config: EngineConfig):
+        kwargs = dict(
+            leaf_capacity=config.leaf_capacity,
+            fanout=config.fanout,
+            beta=config.beta,
+        )
+        if config.index == "cracking":
+            return CrackingRTree(store, **kwargs)
+        if config.index == "bulk":
+            return BulkLoadedRTree(store, **kwargs)
+        if config.index.startswith("topk"):
+            choices = int(config.index.removeprefix("topk"))
+            return TopKSplitsRTree(store, num_choices=choices, **kwargs)
+        raise QueryError(
+            f"unknown index variant {config.index!r}; expected one of {INDEX_VARIANTS}"
+        )
+
+    # -- top-k queries ---------------------------------------------------------
+
+    def topk_tails(
+        self, head: int, relation: int, k: int, entity_type: str | None = None
+    ) -> TopKResult:
+        """Top-k predicted tails of ``(head, relation, ?)`` (E' only).
+
+        ``entity_type`` restricts results to entities tagged with that
+        type (e.g. only movies), when the graph carries type tags.
+        """
+        exclude = set(self.graph.tails(head, relation)) | {head}
+        return find_topk(
+            self.index,
+            self.s1_vectors,
+            self.transform,
+            self.model.tail_query_point(head, relation),
+            k,
+            exclude=frozenset(exclude),
+            epsilon=self.epsilon,
+            allowed=self._allowed_of_type(entity_type),
+        )
+
+    def topk_heads(
+        self, tail: int, relation: int, k: int, entity_type: str | None = None
+    ) -> TopKResult:
+        """Top-k predicted heads of ``(?, relation, tail)`` (E' only)."""
+        exclude = set(self.graph.heads(tail, relation)) | {tail}
+        return find_topk(
+            self.index,
+            self.s1_vectors,
+            self.transform,
+            self.model.head_query_point(tail, relation),
+            k,
+            exclude=frozenset(exclude),
+            epsilon=self.epsilon,
+            allowed=self._allowed_of_type(entity_type),
+        )
+
+    def _allowed_of_type(self, entity_type: str | None) -> frozenset[int] | None:
+        if entity_type is None:
+            return None
+        allowed = self.graph.entities_of_type(entity_type)
+        if not allowed:
+            raise QueryError(f"no entities tagged with type {entity_type!r}")
+        return allowed
+
+    # -- threshold (ball) queries -----------------------------------------------
+
+    def predict_ball(
+        self, head: int, relation: int, p_tau: float = 0.1
+    ) -> list[tuple[int, float]]:
+        """All predicted tails with probability at least ``p_tau``.
+
+        The relevant entities live in the ball of radius
+        ``d_min / p_tau`` around ``h + r`` (Section V-B's probability
+        model); returns ``(entity, probability)`` sorted by decreasing
+        probability.
+        """
+        from repro.index.geometry import Rect
+        from repro.query.probability import InverseDistanceProbability
+
+        if not 0.0 < p_tau <= 1.0:
+            raise QueryError("p_tau must be in (0, 1]")
+        exclude = frozenset(set(self.graph.tails(head, relation)) | {head})
+        q1 = self.model.tail_query_point(head, relation)
+        seed = find_topk(
+            self.index, self.s1_vectors, self.transform, q1, 1,
+            exclude=exclude, epsilon=self.epsilon, refine_index=False,
+        )
+        if not seed.entities:
+            return []
+        prob_model = InverseDistanceProbability(seed.distances[0])
+        radius = prob_model.ball_radius(p_tau) * (1.0 + self.epsilon)
+        region = Rect.ball_box(self.transform(q1), radius)
+        self.index.refine(region)
+        ids = np.array(
+            [int(e) for e in self.index.search(region) if int(e) not in exclude],
+            dtype=np.int64,
+        )
+        if len(ids) == 0:
+            return []
+        dists = np.linalg.norm(self.s1_vectors[ids] - q1, axis=1)
+        prob_model = InverseDistanceProbability(float(dists.min()))
+        probs = prob_model.probabilities(dists)
+        keep = probs >= p_tau
+        pairs = sorted(
+            zip(ids[keep].tolist(), probs[keep].tolist()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return [(int(e), float(p)) for e, p in pairs]
+
+    def exhaustive_topk_tails(self, head: int, relation: int, k: int):
+        """No-index ground truth for :meth:`topk_tails`."""
+        exclude = set(self.graph.tails(head, relation)) | {head}
+        return self._scan.topk(
+            self.model.tail_query_point(head, relation), k, frozenset(exclude)
+        )
+
+    def exhaustive_topk_heads(self, tail: int, relation: int, k: int):
+        """No-index ground truth for :meth:`topk_heads`."""
+        exclude = set(self.graph.heads(tail, relation)) | {tail}
+        return self._scan.topk(
+            self.model.head_query_point(tail, relation), k, frozenset(exclude)
+        )
+
+    # -- EXPLAIN -----------------------------------------------------------------
+
+    def explain_topk(
+        self,
+        entity: int,
+        relation: int,
+        k: int,
+        direction: str = "tail",
+    ) -> "QueryExplain":
+        """Run a top-k query and report what the index did for it.
+
+        Returns a :class:`QueryExplain` with the result, wall time, the
+        index access counters attributable to this query, the splits it
+        triggered, and the final query region — the EXPLAIN ANALYZE of
+        the virtual knowledge graph.
+        """
+        if direction not in ("tail", "head"):
+            raise QueryError("direction must be 'tail' or 'head'")
+        before = self.index.counters.snapshot()
+        splits_before = self.index.splits_performed
+        start = time.perf_counter()
+        if direction == "tail":
+            result = self.topk_tails(entity, relation, k)
+        else:
+            result = self.topk_heads(entity, relation, k)
+        elapsed = time.perf_counter() - start
+        after = self.index.counters
+        return QueryExplain(
+            result=result,
+            elapsed_seconds=elapsed,
+            internal_accesses=after.internal_accesses - before.internal_accesses,
+            leaf_accesses=after.leaf_accesses - before.leaf_accesses,
+            partition_accesses=after.partition_accesses - before.partition_accesses,
+            splits_triggered=self.index.splits_performed - splits_before,
+            points_examined=result.points_examined,
+            scan_equivalent_points=self.graph.num_entities,
+            index_stats=self.index.stats(),
+        )
+
+    # -- probabilities ------------------------------------------------------
+
+    def probabilities(self, result: TopKResult) -> tuple[float, ...]:
+        """Inverse-distance probabilities of a top-k result's entities."""
+        if not result.distances:
+            return ()
+        model = InverseDistanceProbability(result.distances[0])
+        return tuple(model.probability(d) for d in result.distances)
+
+    # -- aggregate queries ------------------------------------------------------
+
+    def aggregate_tails(
+        self,
+        head: int,
+        relation: int,
+        kind: str,
+        attribute: str | None = None,
+        **kwargs,
+    ) -> AggregateEstimate:
+        """Aggregate over predicted tails of ``(head, relation, ?)``."""
+        exclude = frozenset(set(self.graph.tails(head, relation)) | {head})
+        return self._aggregates.estimate(
+            self.model.tail_query_point(head, relation),
+            kind,
+            attribute=attribute,
+            exclude=exclude,
+            **kwargs,
+        )
+
+    def aggregate_heads(
+        self,
+        tail: int,
+        relation: int,
+        kind: str,
+        attribute: str | None = None,
+        **kwargs,
+    ) -> AggregateEstimate:
+        """Aggregate over predicted heads of ``(?, relation, tail)``."""
+        exclude = frozenset(set(self.graph.heads(tail, relation)) | {tail})
+        return self._aggregates.estimate(
+            self.model.head_query_point(tail, relation),
+            kind,
+            attribute=attribute,
+            exclude=exclude,
+            **kwargs,
+        )

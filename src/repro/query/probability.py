@@ -1,0 +1,54 @@
+"""The distance-to-probability model of Section V-B.
+
+"We let the entity closest to the query center point have probability 1
+for the relationship, and other entities' probabilities are inversely
+proportional to their distances to the query center point." The ball of
+relevant entities corresponds to a probability threshold ``p_tau``: an
+entity is in the ball iff its probability is at least ``p_tau``, i.e.
+its distance is at most ``d_min / p_tau``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+
+#: Floor applied to the closest distance so a zero-distance match (the
+#: query point coinciding with an entity) still yields finite radii.
+_DISTANCE_FLOOR = 1e-9
+
+
+class InverseDistanceProbability:
+    """Probability model anchored at the closest entity's distance."""
+
+    def __init__(self, min_distance: float) -> None:
+        if min_distance < 0:
+            raise QueryError("min_distance must be non-negative")
+        self.min_distance = max(float(min_distance), _DISTANCE_FLOOR)
+
+    @classmethod
+    def from_distances(cls, distances: np.ndarray) -> "InverseDistanceProbability":
+        distances = np.asarray(distances, dtype=np.float64)
+        if distances.size == 0:
+            raise QueryError("need at least one distance to anchor probabilities")
+        return cls(float(distances.min()))
+
+    def probability(self, distance: float) -> float:
+        """p = d_min / d, capped at 1 for distances below d_min."""
+        if distance < 0:
+            raise QueryError("distance must be non-negative")
+        if distance <= self.min_distance:
+            return 1.0
+        return self.min_distance / float(distance)
+
+    def probabilities(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`probability`."""
+        distances = np.asarray(distances, dtype=np.float64)
+        return np.minimum(1.0, self.min_distance / np.maximum(distances, _DISTANCE_FLOOR))
+
+    def ball_radius(self, p_tau: float) -> float:
+        """The distance at which probability drops to ``p_tau``."""
+        if not 0.0 < p_tau <= 1.0:
+            raise QueryError("p_tau must be in (0, 1]")
+        return self.min_distance / p_tau

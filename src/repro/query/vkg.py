@@ -1,0 +1,142 @@
+"""The virtual knowledge graph facade (Definition 1).
+
+A :class:`VirtualKnowledgeGraph` presents the graph *as if* it were
+complete: every absent edge exists virtually with a probability assigned
+by the prediction algorithm (the embedding model). It is the high-level,
+name-based public API of the library — entities and relations are
+addressed by their names, and results come back as
+:class:`PredictedEdge` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.aggregates import AggregateEstimate
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.query.probability import InverseDistanceProbability
+
+
+@dataclass(frozen=True, slots=True)
+class PredictedEdge:
+    """One predicted (virtual) edge with its probability."""
+
+    head: str
+    relation: str
+    tail: str
+    probability: float
+
+    def as_triple(self) -> tuple[str, str, str]:
+        return (self.head, self.relation, self.tail)
+
+
+class VirtualKnowledgeGraph:
+    """Name-based predictive queries over a knowledge graph."""
+
+    def __init__(self, graph: KnowledgeGraph, engine: QueryEngine) -> None:
+        self.graph = graph
+        self.engine = engine
+
+    @classmethod
+    def build(
+        cls, graph: KnowledgeGraph, config: EngineConfig | None = None
+    ) -> "VirtualKnowledgeGraph":
+        """Train the embedding and build the index in one call."""
+        return cls(graph, QueryEngine.from_graph(graph, config))
+
+    # -- top-k ---------------------------------------------------------------
+
+    def top_tails(
+        self, head: str, relation: str, k: int = 5, tail_type: str | None = None
+    ) -> list[PredictedEdge]:
+        """Q1-style query: the top-k most likely new tails.
+
+        E.g. "the top-5 restaurants Amy would rate high but has not been
+        to yet" — known edges are excluded by construction.
+        ``tail_type`` restricts results to entities of one type (when
+        the graph carries type tags).
+        """
+        h = self.graph.entities.id_of(head)
+        r = self.graph.relations.id_of(relation)
+        result = self.engine.topk_tails(h, r, k, entity_type=tail_type)
+        probs = self.engine.probabilities(result)
+        return [
+            PredictedEdge(head, relation, self.graph.entities.name_of(e), p)
+            for e, p in zip(result.entities, probs)
+        ]
+
+    def top_heads(
+        self, tail: str, relation: str, k: int = 5, head_type: str | None = None
+    ) -> list[PredictedEdge]:
+        """The top-k most likely new heads for ``(?, relation, tail)``."""
+        t = self.graph.entities.id_of(tail)
+        r = self.graph.relations.id_of(relation)
+        result = self.engine.topk_heads(t, r, k, entity_type=head_type)
+        probs = self.engine.probabilities(result)
+        return [
+            PredictedEdge(self.graph.entities.name_of(e), relation, tail, p)
+            for e, p in zip(result.entities, probs)
+        ]
+
+    def likely_tails(
+        self, head: str, relation: str, p_tau: float = 0.1
+    ) -> list[PredictedEdge]:
+        """Threshold query: every predicted tail with probability at
+        least ``p_tau`` (the Section V-B probability ball)."""
+        h = self.graph.entities.id_of(head)
+        r = self.graph.relations.id_of(relation)
+        pairs = self.engine.predict_ball(h, r, p_tau=p_tau)
+        return [
+            PredictedEdge(head, relation, self.graph.entities.name_of(e), p)
+            for e, p in pairs
+        ]
+
+    # -- single-edge probability -------------------------------------------------
+
+    def edge_probability(self, head: str, relation: str, tail: str) -> float:
+        """Probability of one virtual edge (1.0 if it is a known fact).
+
+        For a predicted edge, the probability is the inverse-distance
+        model anchored at the closest entity to the query point.
+        """
+        h = self.graph.entities.id_of(head)
+        r = self.graph.relations.id_of(relation)
+        t = self.graph.entities.id_of(tail)
+        if self.graph.has_triple(h, r, t):
+            return 1.0
+        distances = self.engine.model.distances_to_all_tails(h, r)
+        model = InverseDistanceProbability(float(np.min(distances)))
+        return model.probability(float(distances[t]))
+
+    # -- aggregates --------------------------------------------------------------
+
+    def aggregate(
+        self,
+        kind: str,
+        attribute: str | None = None,
+        head: str | None = None,
+        tail: str | None = None,
+        relation: str | None = None,
+        **kwargs,
+    ) -> AggregateEstimate:
+        """Q2-style query, e.g. "the average age of all people who would
+        like Restaurant 2": ``aggregate("avg", "age", tail="restaurant2",
+        relation="likes")``.
+
+        Exactly one of ``head`` / ``tail`` must be given; the aggregate
+        runs over the predicted entities on the other side.
+        """
+        if relation is None:
+            raise QueryError("relation is required")
+        if (head is None) == (tail is None):
+            raise QueryError("give exactly one of head / tail")
+        r = self.graph.relations.id_of(relation)
+        if head is not None:
+            h = self.graph.entities.id_of(head)
+            return self.engine.aggregate_tails(h, r, kind, attribute, **kwargs)
+        t = self.graph.entities.id_of(tail)
+        return self.engine.aggregate_heads(t, r, kind, attribute, **kwargs)

@@ -1,0 +1,37 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library (dataset generation, embedding
+initialisation, negative sampling, JL projection matrices, LSH hash
+functions) accepts either an integer seed or a ``numpy.random.Generator``.
+Funnelling that through :func:`ensure_rng` keeps experiments reproducible
+end to end: the benchmark harness fixes one seed per figure and every
+derived component forks from it deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed_or_rng``.
+
+    ``None`` produces a fresh, OS-seeded generator; an ``int`` produces a
+    deterministic generator; an existing generator is passed through
+    unchanged (so callers can share a stream).
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Fork ``n`` independent child generators from ``rng``.
+
+    Uses the generator's bit-generator seed sequence so children are
+    statistically independent and reproducible given the parent's seed.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,22 @@
+"""Johnson-Lindenstrauss transform into the low-dimensional index space
+S2, plus the paper's accuracy-bound formulas (Theorems 1-4)."""
+
+from repro.transform.bounds import (
+    aggregate_sum_tail_bound,
+    topk_expected_misses,
+    topk_no_miss_probability,
+    false_inclusion_bound,
+    theorem1_lower_tail,
+    theorem1_upper_tail,
+)
+from repro.transform.jl import JLTransform
+
+__all__ = [
+    "JLTransform",
+    "theorem1_upper_tail",
+    "theorem1_lower_tail",
+    "topk_no_miss_probability",
+    "topk_expected_misses",
+    "false_inclusion_bound",
+    "aggregate_sum_tail_bound",
+]

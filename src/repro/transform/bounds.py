@@ -1,0 +1,174 @@
+"""Closed-form accuracy bounds from the paper (Theorems 1-4).
+
+These are the guarantees attached to the JL transform (Theorem 1), the
+top-k query algorithm (Theorems 2 and 3) and the aggregate estimators
+(Theorem 4, an Azuma/martingale tail). They are pure formulas over the
+transform dimensionality ``alpha`` and the query-time quantities, used
+both to pick parameters (e.g. the radius inflation ``epsilon`` of
+Algorithm 3) and to validate the implementation empirically
+(``benchmarks/bench_theory_bounds.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import TransformError
+
+
+def theorem1_upper_tail(epsilon: float, alpha: int) -> float:
+    """Theorem 1, Eq. (1): Pr[l2 >= sqrt(1+eps) * l1] <= this value.
+
+    ``Delta_u(eps) = (sqrt(1+eps) / e^(eps/2))^alpha`` — valid for any
+    ``eps > 0`` (the paper's relaxation over the classical JL analysis,
+    which needs ``0 < eps < 1``).
+    """
+    if epsilon <= 0:
+        raise TransformError("epsilon must be positive")
+    if alpha <= 0:
+        raise TransformError("alpha must be positive")
+    log_bound = alpha * (0.5 * math.log1p(epsilon) - epsilon / 2.0)
+    return min(1.0, math.exp(log_bound))
+
+
+def theorem1_lower_tail(epsilon: float, alpha: int) -> float:
+    """Theorem 1, Eq. (2): Pr[l2 <= sqrt(1-eps) * l1] <= this value.
+
+    ``Delta_l(eps) = (sqrt(1-eps) * e^(eps/2))^alpha`` for ``0 < eps < 1``.
+    """
+    if not 0 < epsilon < 1:
+        raise TransformError("epsilon must be in (0, 1)")
+    if alpha <= 0:
+        raise TransformError("alpha must be positive")
+    log_bound = alpha * (0.5 * math.log1p(-epsilon) + epsilon / 2.0)
+    return min(1.0, math.exp(log_bound))
+
+
+def _miss_term(m_i: float, alpha: int) -> float:
+    """Per-entity miss probability term ``m^alpha / e^(alpha (m^2-1)/2)``."""
+    if m_i < 1.0:
+        # Distance ratios below 1 cannot occur for true top-k entities
+        # (r_i* <= r_k* and eps >= 0); clamp defensively.
+        m_i = 1.0
+    log_term = alpha * (math.log(m_i) - (m_i * m_i - 1.0) / 2.0)
+    return min(1.0, math.exp(log_term))
+
+
+def topk_no_miss_probability(
+    distance_ratios: Sequence[float], alpha: int, epsilon: float
+) -> float:
+    """Theorem 2: probability FINDTOP-KENTITIES misses *no* true top-k entity.
+
+    ``distance_ratios`` holds ``r_k* / r_i*`` for each true top-k entity
+    ``i`` (the k-th smallest S1 distance over the i-th); the theorem's
+    ``m_i = (r_k* / r_i*) (1 + eps)``.
+    """
+    if alpha <= 0:
+        raise TransformError("alpha must be positive")
+    if epsilon < 0:
+        raise TransformError("epsilon must be non-negative")
+    prob = 1.0
+    for ratio in distance_ratios:
+        prob *= 1.0 - _miss_term(ratio * (1.0 + epsilon), alpha)
+    return max(0.0, prob)
+
+
+def topk_expected_misses(
+    distance_ratios: Sequence[float], alpha: int, epsilon: float
+) -> float:
+    """Theorem 2: expected number of missed true top-k entities."""
+    if alpha <= 0:
+        raise TransformError("alpha must be positive")
+    if epsilon < 0:
+        raise TransformError("epsilon must be non-negative")
+    return sum(
+        _miss_term(ratio * (1.0 + epsilon), alpha) for ratio in distance_ratios
+    )
+
+
+def false_inclusion_bound(epsilon_prime: float, alpha: int) -> float:
+    """Theorem 3: probability that a far point (S1 distance at least
+    ``r_k* (1+eps)/(1-eps')``) lands inside the final query region.
+
+    ``(1 - eps')^alpha * e^(alpha (eps' - eps'^2 / 2))`` for
+    ``0 < eps' < 1``.
+    """
+    if not 0 < epsilon_prime < 1:
+        raise TransformError("epsilon_prime must be in (0, 1)")
+    if alpha <= 0:
+        raise TransformError("alpha must be positive")
+    log_bound = alpha * (
+        math.log1p(-epsilon_prime) + epsilon_prime - epsilon_prime**2 / 2.0
+    )
+    return min(1.0, math.exp(log_bound))
+
+
+def aggregate_sum_tail_bound(
+    delta: float,
+    mu: float,
+    accessed_values: Sequence[float],
+    unaccessed_count: int,
+    max_unaccessed_value: float,
+) -> float:
+    """Theorem 4: Pr[|S - mu| >= delta * mu] for the SUM estimator.
+
+    ``2 exp(-2 delta^2 mu^2 / (sum_i v_i^2 + (b - a) v_m^2))`` where the
+    ``v_i`` are the accessed attribute values, ``b - a`` the unaccessed
+    count and ``v_m`` a bound on the unaccessed values' magnitude.
+    """
+    if delta < 0:
+        raise TransformError("delta must be non-negative")
+    if unaccessed_count < 0:
+        raise TransformError("unaccessed_count must be non-negative")
+    denom = sum(v * v for v in accessed_values)
+    denom += unaccessed_count * max_unaccessed_value * max_unaccessed_value
+    if denom <= 0.0:
+        # No mass at all: the estimator is exact.
+        return 0.0
+    return min(1.0, 2.0 * math.exp(-2.0 * delta * delta * mu * mu / denom))
+
+
+def count_tail_bound(delta: float, mu: float, accessed: int, unaccessed: int) -> float:
+    """Theorem 4 specialised to COUNT (every ``v_i`` and ``v_m`` is 1)."""
+    return aggregate_sum_tail_bound(
+        delta, mu, [1.0] * accessed, unaccessed, 1.0
+    )
+
+
+def suggest_epsilon(
+    target_miss_probability: float, alpha: int, k: int = 5
+) -> float:
+    """Invert Theorem 2: the smallest radius inflation ``epsilon`` whose
+    worst-case per-query miss probability stays below the target.
+
+    The worst case is every true top-k entity sitting exactly at the
+    k-th distance (all ratios 1, so ``m_i = 1 + eps``); the per-query
+    miss probability is then ``1 - (1 - miss_term(1+eps))^k``. Solved by
+    bisection — the term is strictly decreasing in ``eps``.
+
+    Raises :class:`~repro.errors.TransformError` for unachievable
+    targets (``target_miss_probability`` not in (0, 1)).
+    """
+    if not 0.0 < target_miss_probability < 1.0:
+        raise TransformError("target_miss_probability must be in (0, 1)")
+    if alpha <= 0:
+        raise TransformError("alpha must be positive")
+    if k < 1:
+        raise TransformError("k must be >= 1")
+
+    def miss_probability(eps: float) -> float:
+        return 1.0 - (1.0 - _miss_term(1.0 + eps, alpha)) ** k
+
+    low, high = 0.0, 1.0
+    while miss_probability(high) > target_miss_probability:
+        high *= 2.0
+        if high > 1e6:  # pragma: no cover - the term decays doubly fast
+            raise TransformError("failed to bracket the target")
+    for _ in range(80):
+        mid = (low + high) / 2.0
+        if miss_probability(mid) > target_miss_probability:
+            low = mid
+        else:
+            high = mid
+    return high

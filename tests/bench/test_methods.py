@@ -1,0 +1,90 @@
+"""Tests for the benchmark method wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import movie_dataset
+from repro.bench.methods import (
+    H2ALSHMethod,
+    NoIndexMethod,
+    PHTreeMethod,
+    RTreeMethod,
+    make_method,
+)
+from repro.bench.workloads import Query, make_workload
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movie_dataset(0.15)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return make_workload(dataset.graph, 8, seed=0)
+
+
+def test_no_index_method(dataset, workload):
+    method = NoIndexMethod(dataset)
+    result = method.query(workload[0], 5)
+    assert len(result) == 5
+    assert method.build_seconds == 0.0
+
+
+def test_rtree_methods_agree_with_no_index(dataset, workload):
+    truth_method = NoIndexMethod(dataset)
+    for variant in ("cracking", "bulk", "topk2"):
+        method = RTreeMethod(dataset, variant, epsilon=1.0)
+        agreements = []
+        for query in workload:
+            truth = truth_method.query(query, 5)
+            got = method.query(query, 5)
+            agreements.append(len(set(truth) & set(got)) / 5)
+        assert np.mean(agreements) >= 0.9, variant
+
+
+def test_phtree_method_exact(dataset, workload):
+    truth_method = NoIndexMethod(dataset)
+    method = PHTreeMethod(dataset)
+    assert method.build_seconds > 0.0
+    for query in workload[:3]:
+        assert method.query(query, 5) == truth_method.query(query, 5)
+
+
+def test_h2alsh_method_handles_only_its_relation(dataset):
+    method = H2ALSHMethod(dataset, "likes")
+    likes = dataset.graph.relations.id_of("likes")
+    user = int(method.user_ids[0])
+    result = method.query(Query(user, likes, "tail"), 5)
+    assert len(result) <= 5
+    with pytest.raises(ReproError):
+        method.query(Query(user, likes, "head"), 5)
+    other = (likes + 1) % dataset.graph.num_relations
+    with pytest.raises(ReproError):
+        method.query(Query(user, other, "tail"), 5)
+
+
+def test_h2alsh_exact_topk_is_mips_truth(dataset):
+    method = H2ALSHMethod(dataset, "likes")
+    likes = dataset.graph.relations.id_of("likes")
+    user = int(method.user_ids[0])
+    query = Query(user, likes, "tail")
+    exact = method.exact_topk(query, 5)
+    approx = method.query(query, 50)
+    # LSH recall: most exact top-5 should appear in a generous top-50.
+    assert len(set(exact) & set(approx)) >= 3
+
+
+def test_make_method_factory(dataset):
+    assert isinstance(make_method("no-index", dataset), NoIndexMethod)
+    assert isinstance(make_method("ph-tree", dataset), PHTreeMethod)
+    assert isinstance(make_method("h2-alsh", dataset), H2ALSHMethod)
+    method = make_method("topk3", dataset)
+    assert isinstance(method, RTreeMethod)
+    assert method.index.num_choices == 3
+
+
+def test_method_name_includes_alpha(dataset):
+    method = RTreeMethod(dataset, "cracking", alpha=6)
+    assert "a=6" in method.name

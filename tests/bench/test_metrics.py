@@ -1,0 +1,46 @@
+"""Tests for benchmark metrics."""
+
+import pytest
+
+from repro.bench.metrics import precision_at_k, relative_accuracy
+
+
+def test_precision_full_overlap():
+    assert precision_at_k([1, 2, 3], [3, 2, 1]) == 1.0
+
+
+def test_precision_partial_overlap():
+    assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 9]) == 0.5
+
+
+def test_precision_no_overlap():
+    assert precision_at_k([1, 2], [3, 4]) == 0.0
+
+
+def test_precision_empty_truth():
+    assert precision_at_k([], [1, 2]) == 0.0
+
+
+def test_precision_accepts_generators():
+    assert precision_at_k(iter([1, 2]), iter([2, 1])) == 1.0
+
+
+def test_relative_accuracy_exact():
+    assert relative_accuracy(10.0, 10.0) == 1.0
+
+
+def test_relative_accuracy_ten_percent_off():
+    assert relative_accuracy(9.0, 10.0) == pytest.approx(0.9)
+
+
+def test_relative_accuracy_clamped_at_zero():
+    assert relative_accuracy(100.0, 10.0) == 0.0
+
+
+def test_relative_accuracy_zero_truth():
+    assert relative_accuracy(0.0, 0.0) == 1.0
+    assert relative_accuracy(1.0, 0.0) == 0.0
+
+
+def test_relative_accuracy_negative_truth():
+    assert relative_accuracy(-9.0, -10.0) == pytest.approx(0.9)

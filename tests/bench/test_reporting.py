@@ -1,0 +1,39 @@
+"""Tests for table rendering."""
+
+from repro.bench.reporting import format_value, print_table
+
+
+def test_format_value_int():
+    assert format_value(42) == "42"
+
+
+def test_format_value_float_regular():
+    assert format_value(0.1234) == "0.1234"
+
+
+def test_format_value_float_extremes():
+    assert format_value(123456.0) == "1.23e+05"
+    assert format_value(0.000012) == "1.2e-05"
+    assert format_value(0.0) == "0"
+
+
+def test_format_value_string():
+    assert format_value("crack") == "crack"
+
+
+def test_print_table_structure(capsys):
+    text = print_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 3]])
+    out = capsys.readouterr().out
+    assert text in out
+    lines = text.splitlines()
+    assert lines[0] == "== T =="
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+    # Columns align: every row has the same rendered width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_print_table_empty_rows(capsys):
+    text = print_table("empty", ["x"], [])
+    assert "x" in text

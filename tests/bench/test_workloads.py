@@ -1,0 +1,55 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.bench.workloads import Query, make_workload
+from repro.kg.generators import movielens_like
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _ = movielens_like(
+        num_users=40, num_movies=80, num_genres=5, num_tags=8, num_ratings=400
+    )
+    return g
+
+
+def test_workload_size_and_validity(graph):
+    workload = make_workload(graph, 25, seed=0)
+    assert len(workload) == 25
+    for query in workload:
+        assert query.direction in ("tail", "head")
+        assert 0 <= query.entity < graph.num_entities
+        assert 0 <= query.relation < graph.num_relations
+        # The sampled entity actually participates in the relation on
+        # the queried side.
+        if query.direction == "tail":
+            assert graph.tails(query.entity, query.relation)
+        else:
+            assert graph.heads(query.entity, query.relation)
+
+
+def test_workload_deterministic(graph):
+    a = make_workload(graph, 10, seed=3)
+    b = make_workload(graph, 10, seed=3)
+    assert a == b
+
+
+def test_workload_relation_restriction(graph):
+    likes = graph.relations.id_of("likes")
+    workload = make_workload(graph, 15, seed=1, relations=[likes])
+    assert all(q.relation == likes for q in workload)
+
+
+def test_workload_direction_restriction(graph):
+    workload = make_workload(graph, 15, seed=1, directions=("tail",))
+    assert all(q.direction == "tail" for q in workload)
+
+
+def test_workload_empty_relations_raises(graph):
+    with pytest.raises(ValueError):
+        make_workload(graph, 5, relations=[10**6])
+
+
+def test_query_is_hashable():
+    assert len({Query(1, 2, "tail"), Query(1, 2, "tail")}) == 1

@@ -1,0 +1,74 @@
+"""Tests for repro.embedding.evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.evaluation import RankingReport, _rank_of, evaluate_ranking
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.kg.graph import KnowledgeGraph, Triple
+
+
+def test_rank_of_basic():
+    distances = np.array([0.5, 0.1, 0.9, 0.3])
+    # target=0 (dist 0.5): entities 1 (0.1) and 3 (0.3) are closer -> rank 3
+    assert _rank_of(distances, target=0, known=frozenset()) == 3
+
+
+def test_rank_of_filters_known_positives():
+    distances = np.array([0.5, 0.1, 0.9, 0.3])
+    # entity 1 is a known positive: filtered out -> rank 2
+    assert _rank_of(distances, target=0, known=frozenset({1})) == 2
+
+
+def test_rank_of_best_is_one():
+    distances = np.array([0.05, 0.1, 0.9])
+    assert _rank_of(distances, target=0, known=frozenset()) == 1
+
+
+def test_evaluate_ranking_perfect_model():
+    """An embedding constructed so h + r == t exactly must rank every
+    test triple first."""
+    rng = np.random.default_rng(0)
+    entities = rng.normal(size=(6, 4))
+    relations = np.zeros((1, 4))
+    entities[1] = entities[0]  # tail 1 == head 0 + r
+    graph = KnowledgeGraph()
+    for i in range(6):
+        graph.add_entity(f"e{i}")
+    graph.add_relation("r")
+    graph.add_triple(0, 0, 1)
+    model = PretrainedEmbedding(entities, relations)
+    report = evaluate_ranking(model, graph, [Triple(0, 0, 1)])
+    assert report.hits_at_1 == 1.0
+    assert report.mean_rank == 1.0
+    assert report.num_evaluated == 1
+
+
+def test_evaluate_ranking_empty():
+    graph = KnowledgeGraph()
+    graph.add_entity("a")
+    graph.add_relation("r")
+    model = PretrainedEmbedding(np.zeros((1, 3)), np.zeros((1, 3)))
+    report = evaluate_ranking(model, graph, [])
+    assert report.num_evaluated == 0
+    assert np.isnan(report.mean_rank)
+
+
+def test_evaluate_ranking_max_triples_caps_work():
+    rng = np.random.default_rng(1)
+    graph = KnowledgeGraph()
+    for i in range(10):
+        graph.add_entity(f"e{i}")
+    graph.add_relation("r")
+    triples = [Triple(i, 0, (i + 1) % 10) for i in range(10)]
+    for t in triples:
+        graph.add_triple(t.head, t.relation, t.tail)
+    model = PretrainedEmbedding(rng.normal(size=(10, 4)), rng.normal(size=(1, 4)))
+    report = evaluate_ranking(model, graph, triples, max_triples=3)
+    assert report.num_evaluated == 3
+
+
+def test_report_is_frozen():
+    report = RankingReport(1.0, 1.0, 1.0, 1.0, 1)
+    with pytest.raises(AttributeError):
+        report.mean_rank = 2.0

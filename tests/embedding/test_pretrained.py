@@ -1,0 +1,84 @@
+"""Tests for repro.embedding.pretrained."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.errors import EmbeddingError
+from repro.kg.generators import movielens_like
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movielens_like(
+        num_users=50, num_movies=100, num_genres=5, num_tags=10, num_ratings=600
+    )
+
+
+def test_construction_validates_shapes():
+    with pytest.raises(EmbeddingError):
+        PretrainedEmbedding(np.zeros(3), np.zeros((1, 3)))
+    with pytest.raises(EmbeddingError):
+        PretrainedEmbedding(np.zeros((2, 3)), np.zeros((1, 4)))
+
+
+def test_from_world_preserves_latent_distances(dataset):
+    graph, world = dataset
+    model = PretrainedEmbedding.from_world(graph, world, dim=32, noise=0.0)
+    entities = model.entity_vectors()
+    # The orthonormal map is an isometry: pairwise distances survive.
+    a, b = 3, 57
+    latent_dist = np.linalg.norm(world.latent[a] - world.latent[b])
+    embedded_dist = np.linalg.norm(entities[a] - entities[b])
+    assert embedded_dist == pytest.approx(float(latent_dist), rel=1e-9)
+
+
+def test_from_world_relation_vectors_are_mean_translations(dataset):
+    graph, world = dataset
+    model = PretrainedEmbedding.from_world(graph, world, dim=24, noise=0.0, seed=1)
+    entities = model.entity_vectors()
+    likes = graph.relations.id_of("likes")
+    diffs = [
+        entities[t.tail] - entities[t.head]
+        for t in graph.triples()
+        if t.relation == likes
+    ]
+    expected = np.mean(diffs, axis=0)
+    assert np.allclose(model.relation_vector(likes), expected)
+
+
+def test_from_world_rejects_too_small_dim(dataset):
+    graph, world = dataset
+    with pytest.raises(EmbeddingError):
+        PretrainedEmbedding.from_world(graph, world, dim=2)
+
+
+def test_from_world_is_deterministic(dataset):
+    graph, world = dataset
+    a = PretrainedEmbedding.from_world(graph, world, dim=24, seed=9)
+    b = PretrainedEmbedding.from_world(graph, world, dim=24, seed=9)
+    assert np.array_equal(a.entity_vectors(), b.entity_vectors())
+
+
+def test_supports_spatial_queries(dataset):
+    graph, world = dataset
+    model = PretrainedEmbedding.from_world(graph, world, dim=24)
+    assert model.supports_spatial_queries
+    point = model.tail_query_point(0, 0)
+    assert point.shape == (24,)
+
+
+def test_query_geometry_is_clustered(dataset):
+    """The defining property: the k-NN ball around a query point covers a
+    small fraction of all entities (real-KG-embedding-like geometry)."""
+    graph, world = dataset
+    model = PretrainedEmbedding.from_world(graph, world, dim=32, seed=0)
+    entities = model.entity_vectors()
+    likes = graph.relations.id_of("likes")
+    user = world.members("user")[0]
+    q = model.tail_query_point(user, likes)
+    d = np.sort(np.linalg.norm(entities - q, axis=1))
+    fraction_in_2r5 = float(
+        (np.linalg.norm(entities - q, axis=1) <= 2 * d[4]).mean()
+    )
+    assert fraction_in_2r5 < 0.5

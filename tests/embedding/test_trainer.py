@@ -1,0 +1,81 @@
+"""Tests for repro.embedding.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.trainer import TrainConfig, build_model, train_model
+from repro.embedding.transe import TransE
+from repro.embedding.transh import TransH
+from repro.errors import EmbeddingError
+from repro.kg.generators import movielens_like
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _ = movielens_like(
+        num_users=40, num_movies=80, num_genres=5, num_tags=10, num_ratings=400
+    )
+    return g
+
+
+def test_training_reduces_loss(graph):
+    result = train_model(graph, TrainConfig(dim=16, epochs=15, seed=0))
+    assert len(result.loss_history) == 15
+    assert result.loss_history[-1] < result.loss_history[0]
+    assert result.final_loss == result.loss_history[-1]
+
+
+def test_trained_model_ranks_positives_above_random(graph):
+    result = train_model(graph, TrainConfig(dim=16, epochs=15, seed=0))
+    model = result.model
+    triples = graph.triple_array()[:100]
+    rng = np.random.default_rng(0)
+    pos = np.mean([model.triple_distance(*t) for t in triples])
+    neg = np.mean(
+        [
+            model.triple_distance(
+                int(rng.integers(0, graph.num_entities)),
+                int(t[1]),
+                int(rng.integers(0, graph.num_entities)),
+            )
+            for t in triples
+        ]
+    )
+    assert pos < neg
+
+
+def test_training_is_deterministic(graph):
+    a = train_model(graph, TrainConfig(dim=8, epochs=3, seed=7))
+    b = train_model(graph, TrainConfig(dim=8, epochs=3, seed=7))
+    assert np.array_equal(a.model.entity_vectors(), b.model.entity_vectors())
+    assert a.loss_history == b.loss_history
+
+
+def test_build_model_variants(graph):
+    assert isinstance(build_model(TrainConfig(model="transe"), graph), TransE)
+    assert isinstance(build_model(TrainConfig(model="transh"), graph), TransH)
+    with pytest.raises(EmbeddingError):
+        build_model(TrainConfig(model="nope"), graph)
+
+
+def test_train_on_empty_graph_raises():
+    with pytest.raises(EmbeddingError):
+        train_model(KnowledgeGraph(), TrainConfig(epochs=1))
+
+
+def test_train_with_explicit_triples_subset(graph):
+    subset = graph.triple_array()[:50]
+    result = train_model(graph, TrainConfig(dim=8, epochs=2, seed=0), triples=subset)
+    assert result.model.num_entities == graph.num_entities
+
+
+def test_train_rejects_bad_triples_shape(graph):
+    with pytest.raises(EmbeddingError):
+        train_model(graph, TrainConfig(epochs=1), triples=np.zeros((3, 2)))
+
+
+def test_transh_training_runs(graph):
+    result = train_model(graph, TrainConfig(dim=8, epochs=2, model="transh", seed=0))
+    assert isinstance(result.model, TransH)
+    assert len(result.loss_history) == 2

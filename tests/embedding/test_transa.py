@@ -1,0 +1,84 @@
+"""Tests for repro.embedding.transa."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.trainer import TrainConfig, train_model
+from repro.embedding.transa import TransA
+from repro.errors import EmbeddingError
+from repro.kg.generators import movielens_like
+
+
+def test_initial_metric_is_isotropic():
+    model = TransA(6, 2, 4, seed=0)
+    assert np.allclose(model.metric_weights(), 1.0)
+
+
+def test_no_spatial_queries():
+    model = TransA(4, 1, 4, seed=0)
+    assert model.supports_spatial_queries is False
+    with pytest.raises(EmbeddingError):
+        model.tail_query_point(0, 0)
+    with pytest.raises(EmbeddingError):
+        model.head_query_point(0, 0)
+
+
+def test_triple_distance_matches_weighted_formula():
+    model = TransA(5, 2, 6, seed=1)
+    model._weights[1] = np.linspace(0.5, 2.0, 6)
+    h, r, t = 0, 1, 3
+    diff = (
+        model.entity_vectors()[h]
+        + model.relation_vectors()[r]
+        - model.entity_vectors()[t]
+    )
+    expected = np.sqrt((model.metric_weights()[r] * diff * diff).sum())
+    assert model.triple_distance(h, r, t) == pytest.approx(float(expected))
+
+
+def test_distances_to_all_consistency():
+    model = TransA(6, 2, 5, seed=2)
+    model._weights[0] = np.array([2.0, 1.0, 0.5, 1.5, 1.0])
+    tails = model.distances_to_all_tails(2, 0)
+    for t in range(6):
+        assert tails[t] == pytest.approx(model.triple_distance(2, 0, t))
+    heads = model.distances_to_all_heads(2, 0)
+    for h in range(6):
+        assert heads[h] == pytest.approx(model.triple_distance(h, 0, 2))
+
+
+def test_sgd_step_reduces_positive_distance():
+    rng = np.random.default_rng(0)
+    model = TransA(15, 2, 8, seed=0)
+    positives = np.array([[0, 0, 1], [2, 1, 3], [4, 0, 5]])
+    before = np.mean([model.triple_distance(*row) for row in positives])
+    for _ in range(50):
+        negatives = positives.copy()
+        negatives[:, 2] = rng.integers(6, 15, size=3)
+        model.sgd_step(positives, negatives, margin=1.0, learning_rate=0.05)
+    after = np.mean([model.triple_distance(*row) for row in positives])
+    assert after < before
+
+
+def test_weights_adapt_away_from_isotropic():
+    rng = np.random.default_rng(1)
+    model = TransA(20, 1, 6, seed=1)
+    positives = rng.integers(0, 20, size=(16, 3))
+    positives[:, 1] = 0
+    negatives = positives.copy()
+    negatives[:, 2] = rng.integers(0, 20, size=16)
+    for _ in range(10):
+        model.sgd_step(positives, negatives, margin=1.0, learning_rate=0.02)
+    weights = model.metric_weights()[0]
+    assert not np.allclose(weights, 1.0)
+    assert np.all(weights > 0)
+    assert weights.mean() == pytest.approx(1.0, rel=0.2)  # renormalised
+
+
+def test_trainer_integration():
+    graph, _ = movielens_like(
+        num_users=30, num_movies=60, num_genres=4, num_tags=6, num_ratings=300
+    )
+    result = train_model(graph, TrainConfig(dim=12, epochs=4, model="transa", seed=0))
+    assert isinstance(result.model, TransA)
+    assert result.loss_history[-1] <= result.loss_history[0]

@@ -1,0 +1,111 @@
+"""Tests for repro.embedding.transe."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.transe import TransE
+from repro.errors import EmbeddingError
+
+
+def test_shapes_and_init_bounds():
+    model = TransE(num_entities=10, num_relations=3, dim=8, seed=0)
+    assert model.entity_vectors().shape == (10, 8)
+    assert model.relation_vectors().shape == (3, 8)
+    # Relation vectors are L2-normalised once at init.
+    norms = np.linalg.norm(model.relation_vectors(), axis=1)
+    assert np.allclose(norms, 1.0)
+    # Entity vectors are within the unit ball.
+    assert np.all(np.linalg.norm(model.entity_vectors(), axis=1) <= 1.0 + 1e-9)
+
+
+def test_invalid_construction():
+    with pytest.raises(EmbeddingError):
+        TransE(0, 1, 4)
+    with pytest.raises(EmbeddingError):
+        TransE(1, 1, 4, norm=3)
+
+
+def test_triple_distance_l2_matches_manual():
+    model = TransE(5, 2, 6, seed=1)
+    h, r, t = 0, 1, 3
+    expected = np.linalg.norm(
+        model.entity_vector(h) + model.relation_vector(r) - model.entity_vector(t)
+    )
+    assert model.triple_distance(h, r, t) == pytest.approx(float(expected))
+
+
+def test_triple_distance_l1():
+    model = TransE(5, 2, 6, norm=1, seed=1)
+    h, r, t = 1, 0, 2
+    expected = np.abs(
+        model.entity_vector(h) + model.relation_vector(r) - model.entity_vector(t)
+    ).sum()
+    assert model.triple_distance(h, r, t) == pytest.approx(float(expected))
+
+
+def test_query_points():
+    model = TransE(5, 2, 6, seed=1)
+    tail_point = model.tail_query_point(2, 1)
+    assert np.allclose(tail_point, model.entity_vector(2) + model.relation_vector(1))
+    head_point = model.head_query_point(2, 1)
+    assert np.allclose(head_point, model.entity_vector(2) - model.relation_vector(1))
+
+
+def test_distances_to_all_vectorised_consistency():
+    model = TransE(7, 2, 5, seed=2)
+    all_dists = model.distances_to_all_tails(3, 0)
+    for t in range(7):
+        assert all_dists[t] == pytest.approx(model.triple_distance(3, 0, t))
+    head_dists = model.distances_to_all_heads(3, 0)
+    for h in range(7):
+        assert head_dists[h] == pytest.approx(model.triple_distance(h, 0, 3))
+
+
+def test_sgd_step_reduces_positive_distance():
+    rng = np.random.default_rng(0)
+    model = TransE(20, 2, 8, seed=0)
+    positives = np.array([[0, 0, 1], [2, 0, 3], [4, 1, 5]])
+    before = [model.triple_distance(*row) for row in positives]
+    for _ in range(60):
+        negatives = positives.copy()
+        negatives[:, 2] = rng.integers(6, 20, size=3)
+        model.sgd_step(positives, negatives, margin=1.0, learning_rate=0.05)
+    after = [model.triple_distance(*row) for row in positives]
+    assert np.mean(after) < np.mean(before)
+
+
+def test_sgd_step_returns_zero_when_no_violation():
+    model = TransE(6, 1, 4, seed=0)
+    positives = np.array([[0, 0, 1]])
+    # Use the positive itself as the negative: margin can never be
+    # satisfied either, so use margin 0 to get zero hinge loss.
+    loss = model.sgd_step(positives, positives, margin=0.0, learning_rate=0.01)
+    assert loss == 0.0
+
+
+def test_entities_stay_normalized_after_updates():
+    rng = np.random.default_rng(1)
+    model = TransE(15, 2, 6, seed=3)
+    for _ in range(20):
+        pos = rng.integers(0, 15, size=(8, 3))
+        pos[:, 1] = rng.integers(0, 2, size=8)
+        neg = pos.copy()
+        neg[:, 0] = rng.integers(0, 15, size=8)
+        model.sgd_step(pos, neg, margin=1.0, learning_rate=0.1)
+    norms = np.linalg.norm(model.entity_vectors(), axis=1)
+    assert np.all(norms <= 1.0 + 1e-9)
+
+
+def test_score_is_negative_distance():
+    model = TransE(4, 1, 4, seed=0)
+    assert model.score(0, 0, 1) == pytest.approx(-model.triple_distance(0, 0, 1))
+
+
+def test_out_of_range_ids_raise():
+    model = TransE(4, 1, 4, seed=0)
+    with pytest.raises(EmbeddingError):
+        model.entity_vector(4)
+    with pytest.raises(EmbeddingError):
+        model.relation_vector(1)
+    with pytest.raises(EmbeddingError):
+        model.tail_query_point(0, 5)

@@ -1,0 +1,69 @@
+"""Tests for repro.embedding.transh."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.transh import TransH
+from repro.errors import EmbeddingError
+
+
+def test_normals_are_unit_vectors():
+    model = TransH(8, 3, 6, seed=0)
+    norms = np.linalg.norm(model.normal_vectors(), axis=1)
+    assert np.allclose(norms, 1.0)
+
+
+def test_no_spatial_queries():
+    model = TransH(4, 1, 4, seed=0)
+    assert model.supports_spatial_queries is False
+    with pytest.raises(EmbeddingError):
+        model.tail_query_point(0, 0)
+    with pytest.raises(EmbeddingError):
+        model.head_query_point(0, 0)
+
+
+def test_triple_distance_matches_projection_formula():
+    model = TransH(5, 2, 6, seed=1)
+    h, r, t = 0, 1, 3
+    w = model.normal_vectors()[r]
+    hv = model.entity_vectors()[h]
+    tv = model.entity_vectors()[t]
+    h_proj = hv - (w @ hv) * w
+    t_proj = tv - (w @ tv) * w
+    expected = np.linalg.norm(h_proj + model.relation_vectors()[r] - t_proj)
+    assert model.triple_distance(h, r, t) == pytest.approx(float(expected))
+
+
+def test_distances_to_all_consistency():
+    model = TransH(6, 2, 5, seed=2)
+    tails = model.distances_to_all_tails(2, 1)
+    for t in range(6):
+        assert tails[t] == pytest.approx(model.triple_distance(2, 1, t))
+    heads = model.distances_to_all_heads(2, 1)
+    for h in range(6):
+        assert heads[h] == pytest.approx(model.triple_distance(h, 1, 2))
+
+
+def test_sgd_step_reduces_positive_distance():
+    rng = np.random.default_rng(0)
+    model = TransH(12, 1, 6, seed=0)
+    positives = np.array([[0, 0, 1], [2, 0, 3]])
+    before = np.mean([model.triple_distance(*row) for row in positives])
+    for _ in range(40):
+        negatives = positives.copy()
+        negatives[:, 2] = rng.integers(4, 12, size=2)
+        model.sgd_step(positives, negatives, margin=1.0, learning_rate=0.05)
+    after = np.mean([model.triple_distance(*row) for row in positives])
+    assert after < before
+
+
+def test_sgd_step_keeps_normals_unit():
+    rng = np.random.default_rng(1)
+    model = TransH(10, 2, 5, seed=1)
+    pos = rng.integers(0, 10, size=(6, 3))
+    pos[:, 1] = rng.integers(0, 2, size=6)
+    neg = pos.copy()
+    neg[:, 0] = rng.integers(0, 10, size=6)
+    model.sgd_step(pos, neg, margin=1.0, learning_rate=0.1)
+    norms = np.linalg.norm(model.normal_vectors(), axis=1)
+    assert np.allclose(norms, 1.0)

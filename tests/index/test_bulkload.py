@@ -1,0 +1,119 @@
+"""Tests for the fully bulk-loaded R-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulkload import BulkLoadedRTree
+from repro.index.geometry import Rect
+from repro.index.node import FrontierEntry, InternalNode, LeafNode
+from repro.index.store import PointStore
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(2)
+    return PointStore(rng.normal(size=(500, 3)))
+
+
+@pytest.fixture(scope="module")
+def tree(store):
+    return BulkLoadedRTree(store, leaf_capacity=16, fanout=4)
+
+
+def test_no_frontier_after_build(tree):
+    stats = tree.stats()
+    assert stats.frontier_elements == 0
+    assert stats.leaf_nodes > 0
+    assert stats.internal_nodes > 0
+
+
+def test_leaves_respect_capacity(tree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, InternalNode):
+            assert len(node.entries) <= tree.fanout
+            stack.extend(node.entries)
+        else:
+            assert isinstance(node, LeafNode)
+            assert node.size <= tree.leaf_capacity
+
+
+def test_every_point_in_exactly_one_leaf(tree, store):
+    seen: list[int] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, InternalNode):
+            stack.extend(node.entries)
+        else:
+            seen.extend(node.ids.tolist())
+    assert sorted(seen) == list(range(store.size))
+
+
+def test_mbrs_contain_children(tree, store):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, InternalNode):
+            for child in node.entries:
+                assert node.mbr.contains_rect(child.mbr)
+            stack.extend(node.entries)
+        else:
+            pts = store.points_of(node.ids)
+            assert np.all(pts >= node.mbr.lower - 1e-12)
+            assert np.all(pts <= node.mbr.upper + 1e-12)
+
+
+def test_range_search_exact(tree, store):
+    rect = Rect(np.full(3, -0.5), np.full(3, 0.5))
+    found = sorted(tree.search(rect).tolist())
+    expected = sorted(
+        int(i)
+        for i in range(store.size)
+        if rect.contains_point(store.coords[i])
+    )
+    assert found == expected
+
+
+def test_search_empty_region(tree):
+    rect = Rect(np.full(3, 50.0), np.full(3, 51.0))
+    assert tree.search(rect).size == 0
+
+
+def test_refine_is_noop(tree):
+    before = tree.stats()
+    tree.refine(Rect(np.full(3, -0.1), np.full(3, 0.1)))
+    after = tree.stats()
+    assert before == after
+
+
+def test_probe_returns_k_ids(tree):
+    point = np.zeros(3)
+    seeds = tree.probe(point, 10)
+    assert len(seeds) == 10
+    assert len(set(seeds.tolist())) == 10
+
+
+def test_probe_rejects_bad_k(tree):
+    import pytest
+
+    from repro.errors import IndexError_
+
+    with pytest.raises(IndexError_):
+        tree.probe(np.zeros(3), 0)
+
+
+def test_small_dataset_single_leaf():
+    store = PointStore(np.random.default_rng(0).normal(size=(8, 2)))
+    tree = BulkLoadedRTree(store, leaf_capacity=16, fanout=4)
+    assert isinstance(tree.root, LeafNode)
+    assert tree.height == 0
+
+
+def test_counters_track_accesses(store):
+    tree = BulkLoadedRTree(store, leaf_capacity=16, fanout=4)
+    tree.counters.reset()
+    tree.search(Rect(np.full(3, -0.5), np.full(3, 0.5)))
+    assert tree.counters.leaf_accesses > 0
+    assert tree.counters.points_examined > 0

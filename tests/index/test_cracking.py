@@ -1,0 +1,131 @@
+"""Tests for the greedy cracking R-tree (INCREMENTALINDEXBUILD)."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulkload import BulkLoadedRTree
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.node import FrontierEntry, InternalNode, LeafNode
+from repro.index.store import PointStore
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(3)
+    return PointStore(rng.normal(size=(600, 3)))
+
+
+def brute_force(store, rect):
+    return sorted(
+        int(i) for i in range(store.size) if rect.contains_point(store.coords[i])
+    )
+
+
+def test_starts_as_single_frontier(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    stats = tree.stats()
+    assert stats.frontier_elements == 1
+    assert stats.node_count == 0
+    assert stats.splits_performed == 0
+
+
+def test_first_query_answers_correctly_and_cracks(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rect = Rect(np.full(3, -0.4), np.full(3, 0.4))
+    found = sorted(tree.crack_and_search(rect).tolist())
+    assert found == brute_force(store, rect)
+    assert tree.splits_performed > 0
+
+
+def test_search_correct_after_many_queries(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(7)
+    for _ in range(15):
+        center = rng.normal(size=3) * 0.8
+        radius = rng.uniform(0.1, 0.8)
+        rect = Rect.ball_box(center, radius)
+        found = sorted(tree.crack_and_search(rect).tolist())
+        assert found == brute_force(store, rect)
+
+
+def test_contour_partitions_all_points(store):
+    """Lemma 1: contour elements are disjoint and cover everything."""
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(8)
+    for _ in range(5):
+        rect = Rect.ball_box(rng.normal(size=3) * 0.5, 0.5)
+        tree.refine(rect)
+    seen: list[int] = []
+    for element in tree.contour():
+        if isinstance(element, LeafNode):
+            seen.extend(element.ids.tolist())
+        else:
+            seen.extend(element.partition.ids.tolist())
+    assert sorted(seen) == list(range(store.size))
+
+
+def test_cracks_far_fewer_nodes_than_bulk(store):
+    crack = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    bulk = BulkLoadedRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(9)
+    for _ in range(10):
+        rect = Rect.ball_box(rng.normal(size=3) * 0.3, 0.3)
+        crack.crack_and_search(rect)
+    assert crack.splits_performed < bulk.splits_performed
+    assert crack.stats().byte_size < bulk.stats().byte_size
+
+
+def test_disjoint_query_region_leaves_rest_untouched(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    # A query far away from all data points should not split anything.
+    rect = Rect(np.full(3, 100.0), np.full(3, 101.0))
+    found = tree.crack_and_search(rect)
+    assert found.size == 0
+    assert tree.splits_performed == 0
+
+
+def test_stopping_condition_all_points_in_query(store):
+    """A region containing all data points should not trigger any split
+    (ceil(|Q cap e|/N) == ceil(|e|/N))."""
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rect = Rect(np.full(3, -100.0), np.full(3, 100.0))
+    found = tree.crack_and_search(rect)
+    assert found.size == store.size
+    assert tree.splits_performed == 0
+
+
+def test_repeated_identical_query_converges(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rect = Rect.ball_box(np.zeros(3), 0.4)
+    tree.crack_and_search(rect)
+    splits_after_first = tree.splits_performed
+    tree.crack_and_search(rect)
+    tree.crack_and_search(rect)
+    # No (or almost no) further splits for the same region.
+    assert tree.splits_performed == splits_after_first
+
+
+def test_node_fanout_respected(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(10)
+    for _ in range(10):
+        tree.refine(Rect.ball_box(rng.normal(size=3) * 0.5, 0.4))
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, InternalNode):
+            assert len(node.entries) <= tree.fanout
+            stack.extend(node.entries)
+
+
+def test_overlap_cost_accumulates(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    tree.crack_and_search(Rect.ball_box(np.zeros(3), 0.5))
+    assert tree.overlap_cost_total >= 0.0
+
+
+def test_probe_on_unrefined_tree(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    seeds = tree.probe(np.zeros(3), 5)
+    assert len(seeds) == 5

@@ -1,0 +1,104 @@
+"""Tests for repro.index.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.geometry import Rect
+
+
+def test_construction_validates():
+    with pytest.raises(IndexError_):
+        Rect(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+    with pytest.raises(IndexError_):
+        Rect(np.array([0.0]), np.array([1.0, 2.0]))
+    with pytest.raises(IndexError_):
+        Rect(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_from_points():
+    pts = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]])
+    rect = Rect.from_points(pts)
+    assert rect.lower.tolist() == [0.0, -1.0]
+    assert rect.upper.tolist() == [2.0, 1.0]
+    with pytest.raises(IndexError_):
+        Rect.from_points(np.empty((0, 2)))
+
+
+def test_ball_box():
+    rect = Rect.ball_box(np.array([1.0, 1.0]), 0.5)
+    assert rect.lower.tolist() == [0.5, 0.5]
+    assert rect.upper.tolist() == [1.5, 1.5]
+    with pytest.raises(IndexError_):
+        Rect.ball_box(np.zeros(2), -1.0)
+
+
+def test_volume_and_margin():
+    rect = Rect(np.array([0.0, 0.0]), np.array([2.0, 3.0]))
+    assert rect.volume() == 6.0
+    assert rect.margin() == 5.0
+    point_rect = Rect(np.array([1.0, 1.0]), np.array([1.0, 1.0]))
+    assert point_rect.volume() == 0.0
+
+
+def test_contains_point_boundary_inclusive():
+    rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+    assert rect.contains_point(np.array([0.0, 1.0]))
+    assert rect.contains_point(np.array([0.5, 0.5]))
+    assert not rect.contains_point(np.array([1.0001, 0.5]))
+
+
+def test_contains_points_vectorised():
+    rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+    pts = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+    assert rect.contains_points(pts).tolist() == [True, False, True]
+
+
+def test_intersects_and_contains_rect():
+    a = Rect(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+    b = Rect(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+    c = Rect(np.array([2.5, 2.5]), np.array([3.0, 3.0]))
+    inner = Rect(np.array([0.5, 0.5]), np.array([1.0, 1.0]))
+    assert a.intersects(b) and b.intersects(a)
+    assert not a.intersects(c)
+    assert a.contains_rect(inner)
+    assert not inner.contains_rect(a)
+    # Touching edges count as intersecting.
+    d = Rect(np.array([2.0, 0.0]), np.array([3.0, 1.0]))
+    assert a.intersects(d)
+
+
+def test_union():
+    a = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+    b = Rect(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+    u = a.union(b)
+    assert u.lower.tolist() == [0.0, -1.0]
+    assert u.upper.tolist() == [3.0, 1.0]
+
+
+def test_overlap_volume():
+    a = Rect(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+    b = Rect(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+    assert a.overlap_volume(b) == 1.0
+    c = Rect(np.array([5.0, 5.0]), np.array([6.0, 6.0]))
+    assert a.overlap_volume(c) == 0.0
+    # Touching rectangles overlap with zero volume.
+    d = Rect(np.array([2.0, 0.0]), np.array([3.0, 2.0]))
+    assert a.overlap_volume(d) == 0.0
+
+
+def test_min_dist_to_point():
+    rect = Rect(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+    assert rect.min_dist_to_point(np.array([0.5, 0.5])) == 0.0
+    assert rect.min_dist_to_point(np.array([2.0, 0.5])) == 1.0
+    assert rect.min_dist_to_point(np.array([2.0, 2.0])) == pytest.approx(np.sqrt(2))
+
+
+def test_equality_and_hash():
+    a = Rect(np.array([0.0]), np.array([1.0]))
+    b = Rect(np.array([0.0]), np.array([1.0]))
+    c = Rect(np.array([0.0]), np.array([2.0]))
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+    assert a != "not a rect"

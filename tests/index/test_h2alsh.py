@@ -1,0 +1,99 @@
+"""Tests for the H2-ALSH baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.h2alsh import H2ALSHIndex
+
+
+@pytest.fixture(scope="module")
+def items():
+    rng = np.random.default_rng(9)
+    # Mixed norms so several hypersphere blocks form.
+    base = rng.normal(size=(400, 12))
+    scales = rng.uniform(0.2, 3.0, size=400)
+    return base * scales[:, None]
+
+
+@pytest.fixture(scope="module")
+def index(items):
+    return H2ALSHIndex(items, seed=0)
+
+
+def test_construction_validation(items):
+    with pytest.raises(IndexError_):
+        H2ALSHIndex(np.zeros(4))
+    with pytest.raises(IndexError_):
+        H2ALSHIndex(items, norm_ratio=1.5)
+
+
+def test_blocks_partition_by_norm(items, index):
+    assert index.num_blocks >= 2
+    covered = []
+    prev_max = np.inf
+    for block in index._blocks:
+        norms = np.linalg.norm(items[block.item_rows], axis=1)
+        assert norms.max() <= prev_max + 1e-9
+        # Within a block all norms exceed norm_ratio * block max.
+        assert norms.min() > index.norm_ratio * block.max_norm - 1e-9
+        prev_max = block.max_norm
+        covered.extend(block.item_rows.tolist())
+    assert sorted(covered) == list(range(len(items)))
+
+
+def test_qnf_padding_places_items_on_sphere(items, index):
+    for block in index._blocks:
+        padded_norms = np.linalg.norm(block.padded, axis=1)
+        assert np.allclose(padded_norms, block.max_norm, atol=1e-6)
+
+
+def test_topk_recall_against_exact(items, index):
+    """LSH is approximate; recall@10 should still be high on average."""
+    rng = np.random.default_rng(10)
+    recalls = []
+    for _ in range(20):
+        q = rng.normal(size=12)
+        exact = set(np.argsort(items @ q)[::-1][:10].tolist())
+        got = {e for e, _ in index.topk_inner_product(q, 10)}
+        recalls.append(len(exact & got) / 10)
+    assert np.mean(recalls) > 0.6
+
+
+def test_results_sorted_by_inner_product(items, index):
+    result = index.topk_inner_product(np.ones(12), 8)
+    ips = [ip for _, ip in result]
+    assert ips == sorted(ips, reverse=True)
+
+
+def test_exclusion(items, index):
+    q = np.ones(12)
+    full = index.topk_inner_product(q, 5)
+    banned = frozenset(e for e, _ in full)
+    filtered = index.topk_inner_product(q, 5, exclude=banned)
+    assert not banned & {e for e, _ in filtered}
+
+
+def test_bad_k(index):
+    with pytest.raises(IndexError_):
+        index.topk_inner_product(np.ones(12), 0)
+
+
+def test_counters_track_candidates(items):
+    index = H2ALSHIndex(items, seed=1)
+    index.counters.reset()
+    index.topk_inner_product(np.ones(12), 5)
+    assert index.counters.points_examined > 0
+    # Flat buckets: candidate count grows with the data size, unlike the
+    # logarithmic R-tree cost (the paper's scaling argument).
+    assert index.counters.points_examined < len(items) + 1
+
+
+def test_deterministic_given_seed(items):
+    a = H2ALSHIndex(items, seed=7).topk_inner_product(np.ones(12), 5)
+    b = H2ALSHIndex(items, seed=7).topk_inner_product(np.ones(12), 5)
+    assert a == b
+
+
+def test_bucket_count_positive(index):
+    assert index.stats_bucket_count() > 0

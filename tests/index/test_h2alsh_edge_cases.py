@@ -1,0 +1,50 @@
+"""Edge cases for H2-ALSH: degenerate norm distributions."""
+
+import numpy as np
+import pytest
+
+from repro.index.h2alsh import H2ALSHIndex
+
+
+def test_uniform_norms_single_block():
+    """All items on one sphere -> exactly one homocentric block."""
+    rng = np.random.default_rng(80)
+    items = rng.normal(size=(100, 8))
+    items /= np.linalg.norm(items, axis=1, keepdims=True)
+    index = H2ALSHIndex(items, seed=0)
+    assert index.num_blocks == 1
+    result = index.topk_inner_product(rng.normal(size=8), 5)
+    assert len(result) == 5
+
+
+def test_extreme_norm_spread_many_blocks():
+    rng = np.random.default_rng(81)
+    base = rng.normal(size=(120, 8))
+    base /= np.linalg.norm(base, axis=1, keepdims=True)
+    scales = np.logspace(-3, 2, 120)
+    items = base * scales[:, None]
+    index = H2ALSHIndex(items, norm_ratio=0.5, seed=0)
+    assert index.num_blocks >= 10
+
+
+def test_single_item():
+    index = H2ALSHIndex(np.array([[1.0, 2.0, 3.0]]), seed=0)
+    result = index.topk_inner_product(np.array([1.0, 0.0, 0.0]), 3)
+    assert result == [(0, 1.0)]
+
+
+def test_zero_norm_query():
+    rng = np.random.default_rng(82)
+    items = rng.normal(size=(50, 6))
+    index = H2ALSHIndex(items, seed=0)
+    # All inner products are 0; the call must not crash.
+    result = index.topk_inner_product(np.zeros(6), 5)
+    assert all(ip == pytest.approx(0.0) for _, ip in result)
+
+
+def test_near_zero_norm_item_padding():
+    """Items with negligible norm pad onto the block sphere without NaNs."""
+    items = np.vstack([np.eye(4) * 2.0, np.full((1, 4), 1e-12)])
+    index = H2ALSHIndex(items, seed=0)
+    for block in index._blocks:
+        assert np.isfinite(block.padded).all()

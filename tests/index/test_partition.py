@@ -1,0 +1,131 @@
+"""Tests for repro.index.partition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.geometry import Rect
+from repro.index.partition import Partition, SplitChoice
+from repro.index.store import PointStore
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(1)
+    return PointStore(rng.uniform(-1, 1, size=(64, 3)))
+
+
+@pytest.fixture
+def partition(store):
+    return Partition.from_ids(store, np.arange(64))
+
+
+def test_from_ids_builds_one_order_per_dim(store, partition):
+    assert partition.num_orders == 3
+    assert partition.size == 64
+    for s in range(3):
+        coords = store.points_of(partition.orders[s])[:, s]
+        assert np.all(np.diff(coords) >= 0)  # sorted
+
+
+def test_from_ids_rejects_empty(store):
+    with pytest.raises(IndexError_):
+        Partition.from_ids(store, np.array([], dtype=np.int64))
+
+
+def test_mbr_covers_all_points(store, partition):
+    pts = store.points_of(partition.ids)
+    assert np.allclose(partition.mbr.lower, pts.min(axis=0))
+    assert np.allclose(partition.mbr.upper, pts.max(axis=0))
+
+
+def test_count_in_matches_ids_in(store, partition):
+    rect = Rect(np.full(3, -0.3), np.full(3, 0.3))
+    assert partition.count_in(rect) == len(partition.ids_in(rect))
+
+
+def test_split_positions(partition):
+    assert partition.split_positions(16) == [16, 32, 48]
+    assert partition.split_positions(64) == []
+    assert partition.split_positions(40) == [40]
+    with pytest.raises(IndexError_):
+        partition.split_positions(0)
+
+
+def test_best_splits_offline_returns_overlap_sorted(partition):
+    choices = partition.best_splits(
+        part_size=16, query=None, leaf_capacity=8, beta=1.5, height=2, top_k=5
+    )
+    assert len(choices) == 5
+    # Offline: every c_q is 0, c_o non-decreasing.
+    assert all(c.c_q == 0 for c in choices)
+    costs = [c.c_o for c in choices]
+    assert costs == sorted(costs)
+
+
+def test_best_splits_with_query_prefers_low_page_count(store, partition):
+    query = Rect(np.full(3, -0.2), np.full(3, 0.2))
+    choices = partition.best_splits(
+        part_size=16, query=query, leaf_capacity=8, beta=1.5, height=1, top_k=3
+    )
+    best = choices[0]
+    low, high = partition.apply_split(best)
+    import math
+
+    expected_c_q = math.ceil(low.count_in(query) / 8) + math.ceil(
+        high.count_in(query) / 8
+    )
+    assert best.c_q == expected_c_q
+
+
+def test_apply_split_partitions_ids_disjointly(store, partition):
+    choices = partition.best_splits(16, None, 8, 1.5, 2, top_k=1)
+    low, high = partition.apply_split(choices[0])
+    assert low.size + high.size == partition.size
+    assert low.size == choices[0].position
+    assert not set(low.ids.tolist()) & set(high.ids.tolist())
+
+
+def test_apply_split_keeps_all_orders_sorted(store, partition):
+    choices = partition.best_splits(16, None, 8, 1.5, 2, top_k=1)
+    low, high = partition.apply_split(choices[0])
+    for child in (low, high):
+        for s in range(3):
+            coords = store.points_of(child.orders[s])[:, s]
+            assert np.all(np.diff(coords) >= 0)
+
+
+def test_apply_split_rejects_boundary_positions(partition):
+    with pytest.raises(IndexError_):
+        partition.apply_split(SplitChoice(0, 0.0, 0, 0))
+    with pytest.raises(IndexError_):
+        partition.apply_split(SplitChoice(0, 0.0, 0, 64))
+
+
+def test_apply_split_does_not_mutate_parent(store, partition):
+    ids_before = partition.ids.copy()
+    choices = partition.best_splits(16, None, 8, 1.5, 2, top_k=1)
+    partition.apply_split(choices[0])
+    assert np.array_equal(partition.ids, ids_before)
+
+
+def test_split_on_duplicate_coordinates(store):
+    """Degenerate data (all points identical) still splits by position."""
+    dup_store = PointStore(np.zeros((10, 3)))
+    part = Partition.from_ids(dup_store, np.arange(10))
+    choices = part.best_splits(5, None, 4, 1.0, 1, top_k=1)
+    low, high = part.apply_split(choices[0])
+    assert low.size == 5
+    assert high.size == 5
+
+
+def test_take_chunks(partition):
+    chunks = partition.take_chunks(20)
+    assert [c.size for c in chunks] == [20, 20, 20, 4]
+    all_ids = np.concatenate([c.ids for c in chunks])
+    assert sorted(all_ids.tolist()) == sorted(partition.ids.tolist())
+
+
+def test_split_choice_cost_property():
+    choice = SplitChoice(2, 0.5, 1, 16)
+    assert choice.cost == (2, 0.5)

@@ -1,0 +1,67 @@
+"""Direct unit tests for Partition.with_id_added / with_id_removed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.partition import Partition
+from repro.index.store import PointStore
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(60)
+    return PointStore(rng.normal(size=(40, 3)))
+
+
+@pytest.fixture
+def partition(store):
+    return Partition.from_ids(store, np.arange(30))
+
+
+def test_with_id_added_keeps_orders_sorted(store, partition):
+    grown = partition.with_id_added(35)
+    assert grown.size == 31
+    assert 35 in grown.ids.tolist()
+    for s in range(3):
+        coords = store.points_of(grown.orders[s])[:, s]
+        assert np.all(np.diff(coords) >= 0)
+
+
+def test_with_id_added_does_not_mutate_original(partition):
+    before = partition.ids.copy()
+    partition.with_id_added(35)
+    assert np.array_equal(partition.ids, before)
+
+
+def test_with_id_added_updates_mbr(store, partition):
+    far_id = store.append(np.array([50.0, 50.0, 50.0]))
+    grown = partition.with_id_added(far_id)
+    assert grown.mbr.contains_point(np.array([50.0, 50.0, 50.0]))
+    assert not partition.mbr.contains_point(np.array([50.0, 50.0, 50.0]))
+
+
+def test_with_id_removed(store, partition):
+    shrunk = partition.with_id_removed(7)
+    assert shrunk.size == 29
+    assert 7 not in shrunk.ids.tolist()
+    for s in range(3):
+        coords = store.points_of(shrunk.orders[s])[:, s]
+        assert np.all(np.diff(coords) >= 0)
+
+
+def test_with_id_removed_missing_raises(partition):
+    with pytest.raises(IndexError_):
+        partition.with_id_removed(35)
+
+
+def test_with_id_removed_last_point_returns_none(store):
+    single = Partition.from_ids(store, np.array([3]))
+    assert single.with_id_removed(3) is None
+    with pytest.raises(IndexError_):
+        single.with_id_removed(4)
+
+
+def test_add_then_remove_roundtrip(store, partition):
+    roundtrip = partition.with_id_added(35).with_id_removed(35)
+    assert sorted(roundtrip.ids.tolist()) == sorted(partition.ids.tolist())

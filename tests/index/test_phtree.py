@@ -1,0 +1,83 @@
+"""Tests for the PH-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.linear import ExhaustiveScan
+from repro.index.phtree import PHTreeIndex
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(6)
+    return rng.normal(size=(300, 8))
+
+
+@pytest.fixture(scope="module")
+def tree(vectors):
+    return PHTreeIndex(vectors, bits=12, leaf_capacity=4)
+
+
+def test_construction_validation():
+    with pytest.raises(IndexError_):
+        PHTreeIndex(np.zeros(5))
+    with pytest.raises(IndexError_):
+        PHTreeIndex(np.zeros((2, 3)), bits=0)
+    with pytest.raises(IndexError_):
+        PHTreeIndex(np.random.default_rng(0).normal(size=(4, 70)))
+
+
+def test_knn_matches_exhaustive(vectors, tree):
+    scan = ExhaustiveScan(vectors, vectorized=True)
+    rng = np.random.default_rng(7)
+    for _ in range(10):
+        q = rng.normal(size=8)
+        expected = [e for e, _ in scan.topk(q, 5)]
+        got = [e for e, _ in tree.knn(q, 5)]
+        assert got == expected
+
+
+def test_knn_distances_sorted(vectors, tree):
+    result = tree.knn(np.zeros(8), 10)
+    dists = [d for _, d in result]
+    assert dists == sorted(dists)
+    assert len(result) == 10
+
+
+def test_knn_exclusion(vectors, tree):
+    q = np.zeros(8)
+    full = tree.knn(q, 3)
+    banned = frozenset(e for e, _ in full)
+    filtered = tree.knn(q, 3, exclude=banned)
+    assert not banned & {e for e, _ in filtered}
+
+
+def test_knn_bad_k(tree):
+    with pytest.raises(IndexError_):
+        tree.knn(np.zeros(8), 0)
+
+
+def test_duplicate_points():
+    """Identical points must all be stored and retrievable."""
+    vectors = np.vstack([np.zeros((5, 4)), np.ones((5, 4))])
+    tree = PHTreeIndex(vectors, bits=8, leaf_capacity=2)
+    result = tree.knn(np.zeros(4), 5)
+    assert sorted(e for e, _ in result) == [0, 1, 2, 3, 4]
+
+
+def test_node_count_grows_with_data(vectors):
+    small = PHTreeIndex(vectors[:50], bits=10, leaf_capacity=4)
+    large = PHTreeIndex(vectors, bits=10, leaf_capacity=4)
+    assert large.node_count > small.node_count
+
+
+def test_high_dimensional_examination_degenerates():
+    """The phenomenon the paper reports: at d=50 the PH-tree examines a
+    large fraction of all points for a kNN query (weak pruning)."""
+    rng = np.random.default_rng(8)
+    vectors = rng.normal(size=(400, 50))
+    tree = PHTreeIndex(vectors, bits=10, leaf_capacity=8)
+    tree.counters.reset()
+    tree.knn(rng.normal(size=50), 5)
+    assert tree.counters.points_examined > 0.3 * len(vectors)

@@ -1,0 +1,115 @@
+"""Tests for RTreeBase shared machinery (parameters, probe, contour,
+counters, height computation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.node import FrontierEntry, LeafNode
+from repro.index.store import PointStore
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(50)
+    return PointStore(rng.normal(size=(500, 3)))
+
+
+def test_parameter_validation(store):
+    with pytest.raises(IndexError_):
+        CrackingRTree(store, leaf_capacity=0)
+    with pytest.raises(IndexError_):
+        CrackingRTree(store, fanout=1)
+    with pytest.raises(IndexError_):
+        CrackingRTree(store, beta=0.5)
+
+
+def test_height_computation(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    # 500 points / 16 per leaf = 32 pages; log_4(32) -> ceil = 3.
+    assert tree.height == math.ceil(math.log(math.ceil(500 / 16), 4))
+
+
+def test_height_zero_for_single_page():
+    store = PointStore(np.random.default_rng(0).normal(size=(10, 2)))
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    assert tree.height == 0
+    # A covering query hits the stopping condition (everything is in Q),
+    # so the root stays an unexpanded frontier...
+    tree.refine(Rect.ball_box(np.zeros(2), 10.0))
+    assert isinstance(tree.root, FrontierEntry)
+    # ...while a full offline expansion turns it directly into a leaf.
+    tree.refine(None)
+    assert isinstance(tree.root, LeafNode)
+
+
+def test_initial_root_is_single_frontier(store):
+    tree = CrackingRTree(store)
+    assert isinstance(tree.root, FrontierEntry)
+    assert tree.root.chunk_root
+    assert tree.root.size == store.size
+
+
+def test_contour_initially_root_only(store):
+    tree = CrackingRTree(store)
+    contour = tree.contour()
+    assert len(contour) == 1
+    assert contour[0] is tree.root
+
+
+def test_probe_widens_scope_when_element_too_small(store):
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    # Crack finely around a point so the containing element is small.
+    target = store.coords[0]
+    tree.refine(Rect.ball_box(target, 0.05))
+    seeds = tree.probe(target, 200)
+    assert len(seeds) == 200  # had to climb to enclosing scopes
+
+
+def test_search_counters_distinguish_entry_kinds(store):
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    tree.refine(Rect.ball_box(np.zeros(3), 0.5))
+    tree.counters.reset()
+    tree.search(Rect.ball_box(np.zeros(3), 0.5))
+    counters = tree.counters
+    assert counters.total_node_accesses == (
+        counters.internal_accesses
+        + counters.leaf_accesses
+        + counters.partition_accesses
+    )
+    assert counters.total_node_accesses > 0
+
+
+def test_fully_contained_search_skips_point_filtering(store):
+    """The contains-rect fast path: a region covering everything reports
+    zero points_examined (whole subtrees are emitted wholesale)."""
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    tree.refine(Rect.ball_box(np.zeros(3), 0.5))
+    tree.counters.reset()
+    everything = Rect(np.full(3, -100.0), np.full(3, 100.0))
+    found = tree.search(everything)
+    assert len(found) == store.size
+    assert tree.counters.points_examined == 0
+
+
+def test_overlap_cost_monotone_in_beta(store):
+    rng = np.random.default_rng(51)
+    regions = [Rect.ball_box(rng.normal(size=3) * 0.5, 0.4) for _ in range(5)]
+    low = CrackingRTree(store, leaf_capacity=16, fanout=4, beta=1.0)
+    high = CrackingRTree(store, leaf_capacity=16, fanout=4, beta=3.0)
+    for region in regions:
+        low.refine(region)
+        high.refine(region)
+    # Larger beta weights the same overlaps more heavily.
+    if low.splits_performed and low.overlap_cost_total > 0:
+        assert high.overlap_cost_total > low.overlap_cost_total
+
+
+def test_refine_with_none_builds_everything(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    tree.refine(None)
+    assert tree.stats().frontier_elements == 0

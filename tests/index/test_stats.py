@@ -1,0 +1,36 @@
+"""Tests for index statistics and counters."""
+
+import numpy as np
+
+from repro.index.stats import AccessCounters, IndexStats, StatsAccumulator
+
+
+def test_counters_reset_and_snapshot():
+    counters = AccessCounters()
+    counters.leaf_accesses = 3
+    counters.internal_accesses = 2
+    counters.partition_accesses = 1
+    snap = counters.snapshot()
+    counters.reset()
+    assert counters.leaf_accesses == 0
+    assert snap.leaf_accesses == 3
+    assert snap.total_node_accesses == 6
+
+
+def test_index_stats_node_count():
+    stats = IndexStats(internal_nodes=3, leaf_nodes=10, frontier_elements=2)
+    assert stats.node_count == 13
+
+
+def test_accumulator_byte_accounting():
+    acc = StatsAccumulator(dim=3)
+    acc.add_internal(num_entries=4)  # 4 * (16*3 + 8) = 224
+    acc.add_leaf(num_points=10)  # 16*3 + 80 = 128
+    acc.add_frontier()  # 16*3 + 8 = 56
+    stats = acc.finish(splits_performed=5, height=2)
+    assert stats.byte_size == 224 + 128 + 56
+    assert stats.internal_nodes == 1
+    assert stats.leaf_nodes == 1
+    assert stats.frontier_elements == 1
+    assert stats.splits_performed == 5
+    assert stats.height == 2

@@ -1,0 +1,62 @@
+"""Tests for repro.index.store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.geometry import Rect
+from repro.index.store import PointStore
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(0)
+    return PointStore(rng.normal(size=(50, 3)))
+
+
+def test_construction_validation():
+    with pytest.raises(IndexError_):
+        PointStore(np.zeros(5))
+    with pytest.raises(IndexError_):
+        PointStore(np.empty((0, 3)))
+
+
+def test_coords_are_read_only(store):
+    with pytest.raises(ValueError):
+        store.coords[0, 0] = 99.0
+
+
+def test_basic_accessors(store):
+    assert store.size == 50
+    assert store.dim == 3
+    ids = np.array([3, 7, 11])
+    assert store.points_of(ids).shape == (3, 3)
+
+
+def test_mbr_of(store):
+    ids = np.arange(10)
+    mbr = store.mbr_of(ids)
+    pts = store.points_of(ids)
+    assert np.allclose(mbr.lower, pts.min(axis=0))
+    assert np.allclose(mbr.upper, pts.max(axis=0))
+
+
+def test_ids_in_rect_and_count(store):
+    rect = Rect(np.full(3, -0.5), np.full(3, 0.5))
+    all_ids = np.arange(store.size)
+    inside = store.ids_in_rect(all_ids, rect)
+    assert store.count_in_rect(all_ids, rect) == len(inside)
+    for ident in inside:
+        assert rect.contains_point(store.coords[ident])
+    outside = set(all_ids.tolist()) - set(inside.tolist())
+    for ident in list(outside)[:5]:
+        assert not rect.contains_point(store.coords[ident])
+
+
+def test_scratch_mask_borrow_release(store):
+    ids = np.array([1, 2, 3])
+    mask = store.borrow_mask(ids)
+    assert mask[1] and mask[2] and mask[3]
+    assert not mask[0]
+    store.release_mask(ids)
+    assert not mask[1]

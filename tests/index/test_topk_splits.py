@@ -1,0 +1,122 @@
+"""Tests for the A* top-k split-choice index (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.store import PointStore
+from repro.index.topk_splits import TopKSplitsRTree
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(4)
+    return PointStore(rng.normal(size=(600, 3)))
+
+
+def brute_force(store, rect):
+    return sorted(
+        int(i) for i in range(store.size) if rect.contains_point(store.coords[i])
+    )
+
+
+def test_construction_validation(store):
+    with pytest.raises(IndexError_):
+        TopKSplitsRTree(store, num_choices=0)
+    with pytest.raises(IndexError_):
+        TopKSplitsRTree(store, max_expansions=0)
+
+
+@pytest.mark.parametrize("num_choices", [2, 3, 4])
+def test_search_correct_for_all_choice_counts(store, num_choices):
+    tree = TopKSplitsRTree(store, num_choices=num_choices, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(11)
+    for _ in range(8):
+        rect = Rect.ball_box(rng.normal(size=3) * 0.6, rng.uniform(0.2, 0.6))
+        found = sorted(tree.crack_and_search(rect).tolist())
+        assert found == brute_force(store, rect)
+
+
+def test_single_choice_equals_greedy(store):
+    """num_choices=1 must produce exactly the greedy cracking tree."""
+    astar = TopKSplitsRTree(store, num_choices=1, leaf_capacity=16, fanout=4)
+    greedy = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(12)
+    rects = [Rect.ball_box(rng.normal(size=3) * 0.5, 0.4) for _ in range(5)]
+    for rect in rects:
+        a = sorted(astar.crack_and_search(rect).tolist())
+        g = sorted(greedy.crack_and_search(rect).tolist())
+        assert a == g
+    assert astar.stats().node_count == greedy.stats().node_count
+    assert astar.splits_performed == greedy.splits_performed
+
+
+def test_astar_explores_more_splits_than_greedy(store):
+    astar = TopKSplitsRTree(store, num_choices=3, leaf_capacity=16, fanout=4)
+    greedy = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rect = Rect.ball_box(np.zeros(3), 0.5)
+    astar.crack_and_search(rect)
+    greedy.crack_and_search(rect)
+    assert astar.splits_performed >= greedy.splits_performed
+
+
+def _page_lower_bound(tree, rect) -> int:
+    """Lemma 3's cost: sum over contour elements of ceil(|Q cap e| / N)."""
+    import math
+
+    from repro.index.node import LeafNode
+
+    total = 0
+    for element in tree.contour():
+        if isinstance(element, LeafNode):
+            ids = element.ids
+        else:
+            ids = element.partition.ids
+        count = tree.store.count_in_rect(ids, rect)
+        total += math.ceil(count / tree.leaf_capacity)
+    return total
+
+
+def test_astar_page_bound_close_to_greedy(store):
+    """A* optimises c_Q per node-level decomposition (the guarantee is
+    per expansion, not end-to-end after the recursive descent), so the
+    final contour's page bound should track the greedy one closely."""
+    astar = TopKSplitsRTree(
+        store, num_choices=4, leaf_capacity=16, fanout=4, max_expansions=2000
+    )
+    greedy = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rect = Rect.ball_box(np.zeros(3), 0.5)
+    astar.crack_and_search(rect)
+    greedy.crack_and_search(rect)
+    astar_bound = _page_lower_bound(astar, rect)
+    greedy_bound = _page_lower_bound(greedy, rect)
+    assert astar_bound <= int(1.5 * greedy_bound) + 2
+
+
+def test_expansion_budget_fallback(store):
+    """With a tiny expansion budget the greedy completion still yields a
+    correct index."""
+    tree = TopKSplitsRTree(
+        store, num_choices=4, leaf_capacity=16, fanout=4, max_expansions=1
+    )
+    rect = Rect.ball_box(np.zeros(3), 0.5)
+    found = sorted(tree.crack_and_search(rect).tolist())
+    assert found == brute_force(store, rect)
+
+
+def test_contour_covers_all_points_after_queries(store):
+    from repro.index.node import LeafNode
+
+    tree = TopKSplitsRTree(store, num_choices=2, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(13)
+    for _ in range(5):
+        tree.refine(Rect.ball_box(rng.normal(size=3) * 0.5, 0.4))
+    seen: list[int] = []
+    for element in tree.contour():
+        if isinstance(element, LeafNode):
+            seen.extend(element.ids.tolist())
+        else:
+            seen.extend(element.partition.ids.tolist())
+    assert sorted(seen) == list(range(store.size))

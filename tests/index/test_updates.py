@@ -1,0 +1,135 @@
+"""Tests for dynamic index updates (insert / delete)."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulkload import BulkLoadedRTree
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.store import PointStore
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(20)
+    return PointStore(rng.normal(size=(200, 3)))
+
+
+def brute(store, rect, active):
+    return sorted(
+        int(i) for i in active if rect.contains_point(store.coords[i])
+    )
+
+
+def test_store_append_and_update():
+    store = PointStore(np.zeros((2, 3)))
+    ident = store.append(np.ones(3))
+    assert ident == 2
+    assert store.size == 3
+    assert np.allclose(store.coords[2], 1.0)
+    store.update_row(2, np.full(3, 5.0))
+    assert np.allclose(store.coords[2], 5.0)
+    with pytest.raises(Exception):
+        store.append(np.ones(4))
+    with pytest.raises(Exception):
+        store.update_row(99, np.ones(3))
+
+
+def test_store_growth_preserves_rows():
+    store = PointStore(np.arange(6, dtype=float).reshape(2, 3))
+    for i in range(20):
+        store.append(np.full(3, float(i)))
+    assert store.size == 22
+    assert np.allclose(store.coords[0], [0, 1, 2])
+    assert np.allclose(store.coords[21], 19.0)
+
+
+def test_insert_into_unqueried_tree(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    ident = store.append(np.array([0.1, 0.1, 0.1]))
+    tree.insert(ident)
+    rect = Rect.ball_box(np.array([0.1, 0.1, 0.1]), 0.05)
+    found = tree.crack_and_search(rect)
+    assert ident in found.tolist()
+
+
+def test_insert_after_cracking(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(21)
+    for _ in range(8):
+        tree.crack_and_search(Rect.ball_box(rng.normal(size=3) * 0.5, 0.4))
+    new_ids = []
+    for _ in range(20):
+        point = rng.normal(size=3)
+        ident = store.append(point)
+        tree.insert(ident)
+        new_ids.append(ident)
+    active = list(range(store.size))
+    for _ in range(5):
+        rect = Rect.ball_box(rng.normal(size=3) * 0.5, 0.5)
+        assert sorted(tree.crack_and_search(rect).tolist()) == brute(
+            store, rect, active
+        )
+
+
+def test_delete_removes_from_results(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rect = Rect.ball_box(np.zeros(3), 0.6)
+    before = tree.crack_and_search(rect).tolist()
+    assert before, "need a victim inside the region"
+    victim = int(before[0])
+    assert tree.delete(victim)
+    after = tree.search(rect).tolist()
+    assert victim not in after
+    assert sorted(after) == sorted(set(before) - {victim})
+
+
+def test_delete_missing_returns_false(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    victim = 5
+    assert tree.delete(victim)
+    assert not tree.delete(victim)
+
+
+def test_delete_then_reinsert_roundtrip(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(22)
+    for _ in range(5):
+        tree.crack_and_search(Rect.ball_box(rng.normal(size=3) * 0.5, 0.4))
+    victim = 10
+    assert tree.delete(victim)
+    store.update_row(victim, np.array([2.0, 2.0, 2.0]))
+    tree.insert(victim)
+    rect = Rect.ball_box(np.array([2.0, 2.0, 2.0]), 0.01)
+    assert victim in tree.crack_and_search(rect).tolist()
+
+
+def test_bulk_tree_insert_stays_fully_expanded(store):
+    tree = BulkLoadedRTree(store, leaf_capacity=8, fanout=4)
+    rng = np.random.default_rng(23)
+    for _ in range(30):
+        ident = store.append(rng.normal(size=3))
+        tree.insert(ident)
+    stats = tree.stats()
+    assert stats.frontier_elements == 0
+    rect = Rect.ball_box(np.zeros(3), 1.0)
+    active = list(range(store.size))
+    assert sorted(tree.search(rect).tolist()) == brute(store, rect, active)
+
+
+def test_leaf_overflow_uncracks_then_recracks(store):
+    """Cracking-variant inserts uncrack an overflowing leaf; the next
+    query re-splits it."""
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    rng = np.random.default_rng(24)
+    center = np.array([0.2, 0.2, 0.2])
+    for _ in range(6):
+        tree.crack_and_search(Rect.ball_box(center, 0.3))
+    for _ in range(30):
+        ident = store.append(center + rng.normal(scale=0.05, size=3))
+        tree.insert(ident)
+    rect = Rect.ball_box(center, 0.3)
+    active = list(range(store.size))
+    assert sorted(tree.crack_and_search(rect).tolist()) == brute(
+        store, rect, active
+    )

@@ -1,0 +1,78 @@
+"""Tests for the index invariant checker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.bulkload import BulkLoadedRTree
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.node import LeafNode
+from repro.index.store import PointStore
+from repro.index.topk_splits import TopKSplitsRTree
+from repro.index.validation import check_invariants
+
+
+@pytest.fixture
+def store():
+    rng = np.random.default_rng(30)
+    return PointStore(rng.normal(size=(300, 3)))
+
+
+def test_fresh_trees_pass(store):
+    check_invariants(CrackingRTree(store))
+    check_invariants(BulkLoadedRTree(store))
+    check_invariants(TopKSplitsRTree(store, num_choices=2))
+
+
+def test_cracked_tree_passes(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(31)
+    for _ in range(10):
+        tree.crack_and_search(Rect.ball_box(rng.normal(size=3) * 0.5, 0.4))
+    check_invariants(tree)
+
+
+def test_tree_passes_after_dynamic_updates(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    rng = np.random.default_rng(32)
+    for _ in range(5):
+        tree.crack_and_search(Rect.ball_box(rng.normal(size=3) * 0.5, 0.4))
+    for _ in range(25):
+        ident = store.append(rng.normal(size=3))
+        tree.insert(ident)
+    for victim in (3, 50, 120):
+        tree.delete(victim)
+        store.update_row(victim, rng.normal(size=3))
+        tree.insert(victim)
+    check_invariants(tree)
+
+
+def test_detects_duplicated_point(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    tree.crack_and_search(Rect.ball_box(np.zeros(3), 0.5))
+    tree.insert(0)  # id 0 now appears twice
+    with pytest.raises(IndexError_, match="partition"):
+        check_invariants(tree)
+
+
+def test_detects_missing_point(store):
+    tree = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    tree.crack_and_search(Rect.ball_box(np.zeros(3), 0.5))
+    tree.delete(0)
+    with pytest.raises(IndexError_, match="partition"):
+        check_invariants(tree)
+
+
+def test_detects_corrupted_leaf_mbr(store):
+    tree = BulkLoadedRTree(store, leaf_capacity=16, fanout=4)
+    # Corrupt a leaf's MBR directly.
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, LeafNode):
+            node.mbr = Rect(node.mbr.lower + 10.0, node.mbr.upper + 10.0)
+            break
+        stack.extend(node.entries)
+    with pytest.raises(IndexError_):
+        check_invariants(tree)

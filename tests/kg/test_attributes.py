@@ -1,0 +1,61 @@
+"""Tests for repro.kg.attributes."""
+
+import numpy as np
+
+from repro.kg.attributes import AttributeTable
+
+
+def test_set_and_get():
+    table = AttributeTable()
+    table.set("year", 3, 1995)
+    assert table.get("year", 3) == 1995.0
+    assert isinstance(table.get("year", 3), float)
+
+
+def test_absent_is_none_not_zero():
+    table = AttributeTable()
+    table.set("year", 1, 0.0)
+    assert table.get("year", 1) == 0.0
+    assert table.get("year", 2) is None
+    assert table.get("quality", 1) is None
+
+
+def test_has():
+    table = AttributeTable()
+    table.set("q", 7, 4.5)
+    assert table.has("q", 7)
+    assert not table.has("q", 8)
+    assert not table.has("zzz", 7)
+
+
+def test_set_many_and_column():
+    table = AttributeTable()
+    table.set_many("pop", {1: 10, 2: 20})
+    assert table.column("pop") == {1: 10.0, 2: 20.0}
+    # column() returns a copy
+    table.column("pop")[1] = 99
+    assert table.get("pop", 1) == 10.0
+
+
+def test_values_for_drops_missing():
+    table = AttributeTable()
+    table.set_many("year", {1: 1990, 3: 2000})
+    values = table.values_for("year", [1, 2, 3])
+    assert values.tolist() == [1990.0, 2000.0]
+    assert values.dtype == np.float64
+
+
+def test_attribute_names_sorted():
+    table = AttributeTable()
+    table.set("b", 0, 1)
+    table.set("a", 0, 1)
+    assert table.attribute_names() == ["a", "b"]
+    assert "a" in table
+    assert "c" not in table
+
+
+def test_overwrite():
+    table = AttributeTable()
+    table.set("x", 0, 1.0)
+    table.set("x", 0, 2.0)
+    assert table.get("x", 0) == 2.0

@@ -1,0 +1,138 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.kg.generators import amazon_like, freebase_like, movielens_like
+from repro.kg.generators.base import GraphBuilder, RelationSpec
+from repro.kg.stats import powerlaw_tail_fraction
+
+
+@pytest.fixture(scope="module")
+def movie():
+    return movielens_like(
+        num_users=80, num_movies=150, num_genres=6, num_tags=20, num_ratings=900
+    )
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return amazon_like(
+        num_users=80, num_products=150, num_ratings=800, num_coview_edges=300
+    )
+
+
+@pytest.fixture(scope="module")
+def freebase():
+    return freebase_like(num_entities=400, num_relations=12, num_edges=1500)
+
+
+def test_movielens_schema(movie):
+    graph, world = movie
+    for relation in ("likes", "dislikes", "has-genres", "has-tags"):
+        assert relation in graph.relations
+    assert len(world.members("user")) == 80
+    assert len(world.members("movie")) == 150
+    # Every movie has a year attribute in the MovieLens range.
+    years = [graph.attributes.get("year", m) for m in world.members("movie")]
+    assert all(y is not None and 1930 <= y <= 2018 for y in years)
+
+
+def test_movielens_likes_point_from_users_to_movies(movie):
+    graph, world = movie
+    likes = graph.relations.id_of("likes")
+    users = set(world.members("user"))
+    movies = set(world.members("movie"))
+    for triple in graph.triples():
+        if triple.relation == likes:
+            assert triple.head in users
+            assert triple.tail in movies
+
+
+def test_amazon_schema_and_quality(amazon):
+    graph, world = amazon
+    for relation in ("likes", "dislikes", "also-viewed", "also-bought"):
+        assert relation in graph.relations
+    qualities = [graph.attributes.get("quality", p) for p in world.members("product")]
+    assert all(q is not None and 1.0 <= q <= 5.0 for q in qualities)
+
+
+def test_amazon_quality_reflects_like_ratio(amazon):
+    graph, world = amazon
+    likes = graph.relations.id_of("likes")
+    dislikes = graph.relations.id_of("dislikes")
+    for product in world.members("product")[:50]:
+        n_like = len(graph.heads(product, likes))
+        n_dis = len(graph.heads(product, dislikes))
+        quality = graph.attributes.get("quality", product)
+        if n_like + n_dis == 0:
+            assert quality == 3.0
+        else:
+            expected = 1.0 + 4.0 * n_like / (n_like + n_dis)
+            assert quality == pytest.approx(expected)
+
+
+def test_freebase_heterogeneity(freebase):
+    graph, world = freebase
+    assert graph.num_relations == 12
+    assert graph.num_entities >= 390
+    # popularity attribute equals degree
+    for entity in range(0, graph.num_entities, 37):
+        assert graph.attributes.get("popularity", entity) == float(
+            graph.degree(entity)
+        )
+
+
+def test_degree_distribution_is_skewed(freebase):
+    graph, _ = freebase
+    # Power-law-ish: top 10% of entities carry a disproportionate share.
+    assert powerlaw_tail_fraction(graph, 0.9) > 0.2
+
+
+def test_generators_are_deterministic():
+    g1, _ = movielens_like(num_users=30, num_movies=50, num_ratings=200, seed=42)
+    g2, _ = movielens_like(num_users=30, num_movies=50, num_ratings=200, seed=42)
+    assert [t.as_tuple() for t in g1.triples()] == [t.as_tuple() for t in g2.triples()]
+
+
+def test_different_seeds_differ():
+    g1, _ = movielens_like(num_users=30, num_movies=50, num_ratings=200, seed=1)
+    g2, _ = movielens_like(num_users=30, num_movies=50, num_ratings=200, seed=2)
+    assert [t.as_tuple() for t in g1.triples()] != [t.as_tuple() for t in g2.triples()]
+
+
+def test_world_affinity_consistency(movie):
+    graph, world = movie
+    assert world.latent is not None
+    assert world.latent.shape[0] == graph.num_entities
+    a, b = world.members("movie")[:2]
+    assert world.affinity(a, b) == pytest.approx(
+        float(world.latent[a] @ world.latent[b])
+    )
+
+
+def test_builder_rejects_empty_type():
+    builder = GraphBuilder("t", seed=0)
+    builder.add_entities("user", ["u0"])
+    with pytest.raises(ValueError, match="empty type"):
+        builder.sample_relation(RelationSpec("r", "user", "ghost", 5))
+
+
+def test_likes_edges_prefer_high_affinity(movie):
+    """Edges sampled with affinity_sign=+1 should connect pairs with
+    higher ground-truth affinity than random pairs."""
+    graph, world = movie
+    likes = graph.relations.id_of("likes")
+    edge_affinities = [
+        world.affinity(t.head, t.tail)
+        for t in graph.triples()
+        if t.relation == likes
+    ]
+    rng = np.random.default_rng(0)
+    users = world.members("user")
+    movies = world.members("movie")
+    random_affinities = [
+        world.affinity(int(rng.choice(users)), int(rng.choice(movies)))
+        for _ in range(len(edge_affinities))
+    ]
+    assert np.mean(edge_affinities) > np.mean(random_affinities) + 0.1

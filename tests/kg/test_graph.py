@@ -1,0 +1,101 @@
+"""Tests for repro.kg.graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph, Triple
+
+
+@pytest.fixture
+def small_graph():
+    graph = KnowledgeGraph(name="test")
+    graph.add_fact("amy", "likes", "restaurant1")
+    graph.add_fact("amy", "likes", "restaurant2")
+    graph.add_fact("bob", "likes", "restaurant1")
+    graph.add_fact("amy", "frequents", "store1")
+    return graph
+
+
+def test_counts(small_graph):
+    assert small_graph.num_entities == 5
+    assert small_graph.num_relations == 2
+    assert small_graph.num_triples == 4
+    assert len(small_graph) == 4
+
+
+def test_duplicate_triples_are_ignored(small_graph):
+    amy = small_graph.entities.id_of("amy")
+    likes = small_graph.relations.id_of("likes")
+    r1 = small_graph.entities.id_of("restaurant1")
+    assert small_graph.add_triple(amy, likes, r1) is False
+    assert small_graph.num_triples == 4
+
+
+def test_tails_and_heads(small_graph):
+    amy = small_graph.entities.id_of("amy")
+    likes = small_graph.relations.id_of("likes")
+    r1 = small_graph.entities.id_of("restaurant1")
+    tails = small_graph.tails(amy, likes)
+    assert small_graph.entities.id_of("restaurant1") in tails
+    assert small_graph.entities.id_of("restaurant2") in tails
+    assert len(tails) == 2
+    heads = small_graph.heads(r1, likes)
+    assert len(heads) == 2
+
+
+def test_missing_adjacency_is_empty(small_graph):
+    bob = small_graph.entities.id_of("bob")
+    frequents = small_graph.relations.id_of("frequents")
+    assert small_graph.tails(bob, frequents) == frozenset()
+
+
+def test_degree_counts_both_directions(small_graph):
+    amy = small_graph.entities.id_of("amy")
+    r1 = small_graph.entities.id_of("restaurant1")
+    assert small_graph.degree(amy) == 3  # 3 outgoing
+    assert small_graph.out_degree(amy) == 3
+    assert small_graph.in_degree(amy) == 0
+    assert small_graph.degree(r1) == 2  # 2 incoming
+
+
+def test_triple_array_shape_and_content(small_graph):
+    arr = small_graph.triple_array()
+    assert arr.shape == (4, 3)
+    assert arr.dtype == np.int64
+    first = small_graph.triple_array()[0]
+    assert small_graph.has_triple(int(first[0]), int(first[1]), int(first[2]))
+
+
+def test_empty_triple_array():
+    graph = KnowledgeGraph()
+    assert graph.triple_array().shape == (0, 3)
+
+
+def test_out_of_range_ids_raise():
+    graph = KnowledgeGraph()
+    graph.add_entity("a")
+    graph.add_relation("r")
+    with pytest.raises(GraphError):
+        graph.add_triple(0, 0, 99)
+    with pytest.raises(GraphError):
+        graph.add_triple(99, 0, 0)
+    with pytest.raises(GraphError):
+        graph.add_triple(0, 99, 0)
+
+
+def test_subgraph_without_masks_triples(small_graph):
+    amy = small_graph.entities.id_of("amy")
+    likes = small_graph.relations.id_of("likes")
+    r2 = small_graph.entities.id_of("restaurant2")
+    masked = small_graph.subgraph_without([Triple(amy, likes, r2)])
+    assert masked.num_triples == 3
+    assert not masked.has_triple(amy, likes, r2)
+    # Vocabularies are shared, so ids are stable.
+    assert masked.entities.id_of("amy") == amy
+    # The original graph is untouched.
+    assert small_graph.has_triple(amy, likes, r2)
+
+
+def test_triple_as_tuple():
+    assert Triple(1, 2, 3).as_tuple() == (1, 2, 3)

@@ -1,0 +1,64 @@
+"""Tests for repro.kg.io."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import load_attributes, load_triples, save_attributes, save_triples
+
+
+@pytest.fixture
+def graph():
+    g = KnowledgeGraph(name="io-test")
+    g.add_fact("a", "r1", "b")
+    g.add_fact("b", "r2", "c")
+    g.attributes.set("year", g.entities.id_of("b"), 1999)
+    return g
+
+
+def test_triple_roundtrip(tmp_path, graph):
+    path = tmp_path / "triples.tsv"
+    written = save_triples(graph, path)
+    assert written == 2
+    loaded = load_triples(path, name="io-test")
+    assert loaded.num_triples == 2
+    assert loaded.has_triple(
+        loaded.entities.id_of("a"),
+        loaded.relations.id_of("r1"),
+        loaded.entities.id_of("b"),
+    )
+
+
+def test_load_skips_blank_and_comment_lines(tmp_path):
+    path = tmp_path / "triples.tsv"
+    path.write_text("# comment\n\na\tr\tb\n")
+    loaded = load_triples(path)
+    assert loaded.num_triples == 1
+
+
+def test_load_rejects_malformed_line(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("a\tb\n")
+    with pytest.raises(GraphError, match="expected 3"):
+        load_triples(path)
+
+
+def test_attribute_roundtrip(tmp_path, graph):
+    path = tmp_path / "attrs.tsv"
+    assert save_attributes(graph, path) == 1
+    fresh = KnowledgeGraph()
+    for triple in graph.triples():
+        fresh.add_fact(
+            graph.entities.name_of(triple.head),
+            graph.relations.name_of(triple.relation),
+            graph.entities.name_of(triple.tail),
+        )
+    assert load_attributes(fresh, path) == 1
+    assert fresh.attributes.get("year", fresh.entities.id_of("b")) == 1999.0
+
+
+def test_attribute_load_rejects_bad_value(tmp_path, graph):
+    path = tmp_path / "attrs.tsv"
+    path.write_text("b\tyear\tnot-a-number\n")
+    with pytest.raises(GraphError, match="bad numeric value"):
+        load_attributes(graph, path)

@@ -1,0 +1,51 @@
+"""Tests for repro.kg.stats."""
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.stats import (
+    compute_stats,
+    degree_histogram,
+    degree_sequence,
+    powerlaw_tail_fraction,
+)
+
+
+def make_star(n=5):
+    """A star graph: hub -> n spokes."""
+    graph = KnowledgeGraph(name="star")
+    for i in range(n):
+        graph.add_fact("hub", "r", f"spoke{i}")
+    return graph
+
+
+def test_compute_stats_table1_row():
+    graph = make_star(5)
+    stats = compute_stats(graph)
+    assert stats.as_row() == ("star", 6, 1, 5)
+    assert stats.max_degree == 5
+    assert stats.mean_degree == 10 / 6
+
+
+def test_empty_graph_stats():
+    stats = compute_stats(KnowledgeGraph(name="empty"))
+    assert stats.num_edges == 0
+    assert stats.mean_degree == 0.0
+    assert stats.max_degree == 0
+
+
+def test_degree_sequence_and_histogram():
+    graph = make_star(3)
+    seq = degree_sequence(graph)
+    assert sorted(seq.tolist()) == [1, 1, 1, 3]
+    hist = degree_histogram(graph)
+    assert hist == {3: 1, 1: 3}
+
+
+def test_powerlaw_tail_fraction_star():
+    # In a star all edge mass touches the hub: top 10% of entities
+    # (the hub) carries a large fraction.
+    graph = make_star(20)
+    assert powerlaw_tail_fraction(graph, quantile=0.9) >= 0.5
+
+
+def test_powerlaw_tail_fraction_empty():
+    assert powerlaw_tail_fraction(KnowledgeGraph()) == 0.0

@@ -1,0 +1,53 @@
+"""Tests for repro.kg.vocab."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.kg.vocab import Vocabulary
+
+
+def test_add_assigns_dense_ids_in_insertion_order():
+    vocab = Vocabulary()
+    assert vocab.add("a") == 0
+    assert vocab.add("b") == 1
+    assert vocab.add("c") == 2
+
+
+def test_add_is_idempotent():
+    vocab = Vocabulary()
+    first = vocab.add("x")
+    second = vocab.add("x")
+    assert first == second
+    assert len(vocab) == 1
+
+
+def test_roundtrip_name_and_id():
+    vocab = Vocabulary(["alpha", "beta"])
+    assert vocab.id_of("beta") == 1
+    assert vocab.name_of(0) == "alpha"
+
+
+def test_unknown_name_raises():
+    vocab = Vocabulary()
+    with pytest.raises(VocabularyError):
+        vocab.id_of("missing")
+
+
+def test_unknown_id_raises():
+    vocab = Vocabulary(["only"])
+    with pytest.raises(VocabularyError):
+        vocab.name_of(5)
+    with pytest.raises(VocabularyError):
+        vocab.name_of(-1)
+
+
+def test_contains_and_iter():
+    vocab = Vocabulary(["p", "q"])
+    assert "p" in vocab
+    assert "z" not in vocab
+    assert list(vocab) == ["p", "q"]
+
+
+def test_constructor_deduplicates():
+    vocab = Vocabulary(["a", "a", "b"])
+    assert len(vocab) == 2

@@ -1,0 +1,78 @@
+"""Tests for the ALS collaborative-filtering substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.kg.generators import movielens_like
+from repro.mf.als import ALSConfig, factorize_relation
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movielens_like(
+        num_users=60, num_movies=120, num_genres=5, num_tags=10, num_ratings=800
+    )
+
+
+@pytest.fixture(scope="module")
+def result(dataset):
+    graph, _ = dataset
+    return factorize_relation(graph, "likes", ALSConfig(factors=8, iterations=8))
+
+
+def test_shapes(result):
+    assert result.user_factors.shape[1] == 8
+    assert result.item_factors.shape[1] == 8
+    assert len(result.user_factors) == len(result.user_ids)
+    assert len(result.item_factors) == len(result.item_ids)
+
+
+def test_observed_pairs_score_higher_than_random(dataset, result):
+    graph, _ = dataset
+    likes = graph.relations.id_of("likes")
+    observed = []
+    for triple in list(graph.triples())[:300]:
+        if triple.relation != likes:
+            continue
+        u = result.user_row(triple.head)
+        v = result.item_row(triple.tail)
+        observed.append(float(result.user_factors[u] @ result.item_factors[v]))
+    rng = np.random.default_rng(0)
+    random_scores = [
+        float(
+            result.user_factors[rng.integers(len(result.user_ids))]
+            @ result.item_factors[rng.integers(len(result.item_ids))]
+        )
+        for _ in range(len(observed))
+    ]
+    assert np.mean(observed) > np.mean(random_scores)
+
+
+def test_row_lookup_roundtrip(result):
+    entity = int(result.user_ids[3])
+    assert result.user_row(entity) == 3
+    entity = int(result.item_ids[5])
+    assert result.item_row(entity) == 5
+
+
+def test_row_lookup_unknown_entity_raises(result):
+    with pytest.raises(ReproError):
+        result.user_row(10**9)
+    with pytest.raises(ReproError):
+        result.item_row(10**9)
+
+
+def test_unknown_relation_raises(dataset):
+    graph, _ = dataset
+    from repro.errors import VocabularyError
+
+    with pytest.raises(VocabularyError):
+        factorize_relation(graph, "no-such-relation")
+
+
+def test_deterministic(dataset):
+    graph, _ = dataset
+    a = factorize_relation(graph, "likes", ALSConfig(factors=4, iterations=2, seed=3))
+    b = factorize_relation(graph, "likes", ALSConfig(factors=4, iterations=2, seed=3))
+    assert np.allclose(a.user_factors, b.user_factors)

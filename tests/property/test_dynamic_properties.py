@@ -1,0 +1,73 @@
+"""Property-based test: random interleavings of queries, inserts and
+deletes keep the cracking index equivalent to brute force and
+structurally sound."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.store import PointStore
+from repro.index.validation import check_invariants
+
+DIM = 3
+
+initial_points = arrays(
+    np.float64,
+    st.tuples(st.integers(5, 60), st.just(DIM)),
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False, width=64),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            arrays(np.float64, (DIM,), elements=st.floats(-10, 10, allow_nan=False, width=64)),
+            st.floats(0.2, 8, allow_nan=False),
+        ),
+        st.tuples(
+            st.just("insert"),
+            arrays(np.float64, (DIM,), elements=st.floats(-10, 10, allow_nan=False, width=64)),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 10**6)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(initial_points, operations)
+@settings(max_examples=30, deadline=None)
+def test_random_operation_sequences_stay_correct(points, ops):
+    store = PointStore(points)
+    tree = CrackingRTree(store, leaf_capacity=6, fanout=3)
+    active = set(range(store.size))
+
+    for op in ops:
+        if op[0] == "query":
+            _, center, radius = op
+            rect = Rect.ball_box(center, radius)
+            found = sorted(tree.crack_and_search(rect).tolist())
+            expected = sorted(
+                i for i in active if rect.contains_point(store.coords[i])
+            )
+            assert found == expected
+        elif op[0] == "insert":
+            _, point = op
+            ident = store.append(point)
+            tree.insert(ident)
+            active.add(ident)
+        else:  # delete
+            _, raw = op
+            if not active:
+                continue
+            victim = sorted(active)[raw % len(active)]
+            assert tree.delete(victim)
+            active.discard(victim)
+
+    if active:
+        # Full-space query returns exactly the active set.
+        everything = Rect(np.full(DIM, -1e9), np.full(DIM, 1e9))
+        assert sorted(tree.search(everything).tolist()) == sorted(active)

@@ -1,0 +1,104 @@
+"""Property-based tests for the Rect geometry (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.geometry import Rect
+
+DIM = 3
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=64)
+points = arrays(np.float64, (DIM,), elements=finite)
+point_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.just(DIM)),
+    elements=finite,
+)
+
+
+def rect_from(a: np.ndarray, b: np.ndarray) -> Rect:
+    return Rect(np.minimum(a, b), np.maximum(a, b))
+
+
+@given(points, points)
+def test_rect_contains_its_corners(a, b):
+    rect = rect_from(a, b)
+    assert rect.contains_point(rect.lower)
+    assert rect.contains_point(rect.upper)
+
+
+@given(point_sets)
+def test_mbr_contains_all_points(pts):
+    rect = Rect.from_points(pts)
+    assert rect.contains_points(pts).all()
+
+
+@given(point_sets)
+def test_mbr_is_minimal(pts):
+    """Shrinking the MBR in any dimension drops at least one point."""
+    rect = Rect.from_points(pts)
+    span = rect.upper - rect.lower
+    for d in range(DIM):
+        if span[d] <= 0:
+            continue
+        shrunk = Rect(rect.lower, rect.upper - np.eye(DIM)[d] * span[d] * 0.01)
+        assert not shrunk.contains_points(pts).all()
+
+
+@given(points, points, points, points)
+def test_union_contains_both(a, b, c, d):
+    r1, r2 = rect_from(a, b), rect_from(c, d)
+    union = r1.union(r2)
+    assert union.contains_rect(r1)
+    assert union.contains_rect(r2)
+
+
+@given(points, points, points, points)
+def test_intersects_symmetric(a, b, c, d):
+    r1, r2 = rect_from(a, b), rect_from(c, d)
+    assert r1.intersects(r2) == r2.intersects(r1)
+
+
+@given(points, points, points, points)
+def test_overlap_volume_symmetric_and_bounded(a, b, c, d):
+    r1, r2 = rect_from(a, b), rect_from(c, d)
+    v = r1.overlap_volume(r2)
+    assert v == r2.overlap_volume(r1)
+    assert 0.0 <= v <= min(r1.volume(), r2.volume()) + 1e-9
+
+
+@given(points, points, points)
+def test_min_dist_zero_iff_contained(a, b, p):
+    rect = rect_from(a, b)
+    dist = rect.min_dist_to_point(p)
+    assert dist >= 0.0
+    if rect.contains_point(p):
+        assert dist == 0.0
+    elif dist == 0.0:
+        # Floating point: a point an ulp outside the boundary can have a
+        # gap that underflows to zero — it must then be boundary-close.
+        slack = Rect(rect.lower - 1e-9, rect.upper + 1e-9)
+        assert slack.contains_point(p)
+
+
+@given(points, st.floats(0, 50, allow_nan=False))
+def test_ball_box_contains_ball_samples(center, radius):
+    rect = Rect.ball_box(center, radius)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        direction = rng.normal(size=DIM)
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            continue
+        sample = center + direction / norm * radius * rng.uniform(0, 1)
+        assert rect.min_dist_to_point(sample) <= 1e-9
+
+
+@given(points, points, points, points)
+def test_contains_rect_implies_intersects(a, b, c, d):
+    r1, r2 = rect_from(a, b), rect_from(c, d)
+    if r1.contains_rect(r2):
+        assert r1.intersects(r2)
+        assert r1.volume() >= r2.volume() - 1e-9

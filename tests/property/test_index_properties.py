@@ -1,0 +1,97 @@
+"""Property-based tests: the cracking R-tree matches brute force on
+arbitrary point sets and query sequences (the core correctness
+invariant), and the contour stays a partition of all points (Lemma 1)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.bulkload import BulkLoadedRTree
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.node import LeafNode
+from repro.index.store import PointStore
+from repro.index.topk_splits import TopKSplitsRTree
+
+DIM = 3
+
+point_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 150), st.just(DIM)),
+    elements=st.floats(-20, 20, allow_nan=False, allow_infinity=False, width=64),
+)
+
+query_boxes = st.lists(
+    st.tuples(
+        arrays(np.float64, (DIM,), elements=st.floats(-20, 20, allow_nan=False, width=64)),
+        st.floats(0.1, 15, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def brute(store: PointStore, rect: Rect) -> list[int]:
+    return sorted(
+        int(i) for i in range(store.size) if rect.contains_point(store.coords[i])
+    )
+
+
+@given(point_sets, query_boxes)
+@settings(max_examples=40, deadline=None)
+def test_cracking_search_matches_brute_force(pts, queries):
+    store = PointStore(pts)
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    for center, radius in queries:
+        rect = Rect.ball_box(center, radius)
+        assert sorted(tree.crack_and_search(rect).tolist()) == brute(store, rect)
+
+
+@given(point_sets, query_boxes)
+@settings(max_examples=25, deadline=None)
+def test_topk_splits_search_matches_brute_force(pts, queries):
+    store = PointStore(pts)
+    tree = TopKSplitsRTree(store, num_choices=2, leaf_capacity=8, fanout=4)
+    for center, radius in queries:
+        rect = Rect.ball_box(center, radius)
+        assert sorted(tree.crack_and_search(rect).tolist()) == brute(store, rect)
+
+
+@given(point_sets)
+@settings(max_examples=25, deadline=None)
+def test_bulk_loaded_search_matches_brute_force(pts):
+    store = PointStore(pts)
+    tree = BulkLoadedRTree(store, leaf_capacity=8, fanout=4)
+    rect = Rect.ball_box(pts.mean(axis=0), float(np.abs(pts).max()) / 2 + 0.1)
+    assert sorted(tree.search(rect).tolist()) == brute(store, rect)
+
+
+@given(point_sets, query_boxes)
+@settings(max_examples=25, deadline=None)
+def test_contour_is_partition_after_queries(pts, queries):
+    """Lemma 1: at any instant, contour elements are mutually exclusive
+    and jointly cover every data point."""
+    store = PointStore(pts)
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    for center, radius in queries:
+        tree.refine(Rect.ball_box(center, radius))
+        seen: list[int] = []
+        for element in tree.contour():
+            ids = element.ids if isinstance(element, LeafNode) else element.partition.ids
+            seen.extend(int(i) for i in ids)
+        assert sorted(seen) == list(range(store.size))
+        assert len(seen) == len(set(seen))
+
+
+@given(point_sets, query_boxes)
+@settings(max_examples=25, deadline=None)
+def test_probe_returns_requested_count(pts, queries):
+    store = PointStore(pts)
+    tree = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    for center, radius in queries:
+        tree.refine(Rect.ball_box(center, radius))
+    k = min(5, store.size)
+    seeds = tree.probe(pts[0], k)
+    assert len(seeds) == k
+    assert len(set(seeds.tolist())) == k

@@ -1,0 +1,65 @@
+"""Property-based tests for the knowledge-graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.vocab import Vocabulary
+from repro.query.probability import InverseDistanceProbability
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=8
+)
+
+
+@given(st.lists(names, min_size=1, max_size=40))
+def test_vocab_roundtrip(name_list):
+    vocab = Vocabulary(name_list)
+    for name in name_list:
+        assert vocab.name_of(vocab.id_of(name)) == name
+    assert len(vocab) == len(set(name_list))
+
+
+@given(st.lists(st.tuples(names, names, names), min_size=1, max_size=60))
+def test_graph_adjacency_consistency(facts):
+    """tails(h, r) and heads(t, r) must agree with the triple set."""
+    graph = KnowledgeGraph()
+    for h, r, t in facts:
+        graph.add_fact(h, r, t)
+    for triple in graph.triples():
+        assert triple.tail in graph.tails(triple.head, triple.relation)
+        assert triple.head in graph.heads(triple.tail, triple.relation)
+        assert graph.has_triple(triple.head, triple.relation, triple.tail)
+
+
+@given(st.lists(st.tuples(names, names, names), min_size=1, max_size=60))
+def test_degree_sums_equal_twice_edges(facts):
+    graph = KnowledgeGraph()
+    for h, r, t in facts:
+        graph.add_fact(h, r, t)
+    total_degree = sum(graph.degree(e) for e in range(graph.num_entities))
+    assert total_degree == 2 * graph.num_triples
+
+
+@given(
+    st.floats(0.001, 100, allow_nan=False),
+    st.lists(st.floats(0.0, 1000, allow_nan=False), min_size=1, max_size=30),
+)
+def test_probability_model_invariants(d_min, distances):
+    model = InverseDistanceProbability(d_min)
+    for d in distances:
+        p = model.probability(d)
+        assert 0.0 < p <= 1.0
+        # Monotone: farther entities are never more probable.
+        assert model.probability(d + 1.0) <= p + 1e-12
+
+
+@given(st.floats(0.001, 100, allow_nan=False), st.floats(0.01, 1.0, allow_nan=False))
+def test_ball_radius_probability_roundtrip(d_min, p_tau):
+    model = InverseDistanceProbability(d_min)
+    radius = model.ball_radius(p_tau)
+    # The probability exactly at the ball radius equals p_tau (up to
+    # the cap at 1 when p_tau radius falls below the anchor).
+    assert abs(model.probability(radius) - min(1.0, p_tau / 1.0)) < 1e-9 or (
+        radius <= model.min_distance
+    )

@@ -1,0 +1,75 @@
+"""Property-based tests for Partition splits (Lemmas 1-2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.index.partition import Partition
+from repro.index.store import PointStore
+
+DIM = 3
+
+point_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(4, 60), st.just(DIM)),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False, width=64),
+)
+
+
+@given(point_sets, st.integers(0, 10**6))
+@settings(max_examples=60, deadline=None)
+def test_split_is_a_partition_of_ids(pts, seed):
+    """Lemma 1 at the split level: halves are disjoint and complete."""
+    store = PointStore(pts)
+    partition = Partition.from_ids(store, np.arange(len(pts)))
+    part_size = max(1, len(pts) // 3)
+    choices = partition.best_splits(part_size, None, 4, 1.5, 1, top_k=3)
+    for choice in choices:
+        low, high = partition.apply_split(choice)
+        low_set = set(low.ids.tolist())
+        high_set = set(high.ids.tolist())
+        assert not low_set & high_set
+        assert low_set | high_set == set(range(len(pts)))
+
+
+@given(point_sets)
+@settings(max_examples=60, deadline=None)
+def test_split_preserves_sort_orders(pts):
+    """Lemma 2: after a split, every sort order of each half is still
+    sorted (positions only get closer)."""
+    store = PointStore(pts)
+    partition = Partition.from_ids(store, np.arange(len(pts)))
+    part_size = max(1, len(pts) // 2)
+    choices = partition.best_splits(part_size, None, 4, 1.5, 1, top_k=1)
+    if not choices:
+        return
+    low, high = partition.apply_split(choices[0])
+    for child in (low, high):
+        for s in range(DIM):
+            coords = store.points_of(child.orders[s])[:, s]
+            assert np.all(np.diff(coords) >= 0)
+
+
+@given(point_sets)
+@settings(max_examples=60, deadline=None)
+def test_children_mbrs_within_parent(pts):
+    store = PointStore(pts)
+    partition = Partition.from_ids(store, np.arange(len(pts)))
+    part_size = max(1, len(pts) // 2)
+    choices = partition.best_splits(part_size, None, 4, 1.5, 1, top_k=1)
+    if not choices:
+        return
+    low, high = partition.apply_split(choices[0])
+    assert partition.mbr.contains_rect(low.mbr)
+    assert partition.mbr.contains_rect(high.mbr)
+
+
+@given(point_sets)
+@settings(max_examples=40, deadline=None)
+def test_count_in_consistent_with_ids_in(pts):
+    store = PointStore(pts)
+    partition = Partition.from_ids(store, np.arange(len(pts)))
+    rect = store.mbr_of(np.arange(min(3, len(pts))))
+    assert partition.count_in(rect) == len(partition.ids_in(rect))
+    assert partition.count_in(rect) >= min(3, len(pts))

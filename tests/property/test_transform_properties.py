@@ -1,0 +1,81 @@
+"""Property-based tests for the JL transform and the bound formulas."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.transform.bounds import (
+    aggregate_sum_tail_bound,
+    theorem1_lower_tail,
+    theorem1_upper_tail,
+    topk_expected_misses,
+    topk_no_miss_probability,
+)
+from repro.transform.jl import JLTransform
+
+vectors = arrays(
+    np.float64,
+    (20,),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False, width=64),
+)
+
+
+@given(vectors, vectors, st.floats(-5, 5, allow_nan=False), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_transform_linearity(u, v, c, seed):
+    t = JLTransform(20, 3, seed=seed)
+    assert np.allclose(t(u + c * v), t(u) + c * t(v), atol=1e-8)
+
+
+@given(vectors, st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_transform_batch_equals_single(u, seed):
+    t = JLTransform(20, 3, seed=seed)
+    batch = np.stack([u, 2 * u, u - 1.0])
+    projected = t(batch)
+    for i, row in enumerate(batch):
+        assert np.allclose(projected[i], t(row))
+
+
+@given(st.floats(0.01, 20, allow_nan=False), st.integers(1, 12))
+def test_upper_tail_is_probability(eps, alpha):
+    bound = theorem1_upper_tail(eps, alpha)
+    assert 0.0 <= bound <= 1.0
+
+
+@given(st.floats(0.01, 0.99, allow_nan=False), st.integers(1, 12))
+def test_lower_tail_is_probability(eps, alpha):
+    bound = theorem1_lower_tail(eps, alpha)
+    assert 0.0 <= bound <= 1.0
+
+
+@given(st.floats(0.01, 10, allow_nan=False), st.integers(1, 8))
+def test_upper_tail_monotone_in_alpha(eps, alpha):
+    assert theorem1_upper_tail(eps, alpha + 1) <= theorem1_upper_tail(eps, alpha) + 1e-12
+
+
+@given(
+    st.lists(st.floats(1.0, 5.0, allow_nan=False), min_size=1, max_size=10),
+    st.integers(1, 6),
+    st.floats(0.0, 5.0, allow_nan=False),
+)
+def test_no_miss_probability_consistent_with_expected_misses(ratios, alpha, eps):
+    prob = topk_no_miss_probability(ratios, alpha, eps)
+    expected = topk_expected_misses(ratios, alpha, eps)
+    assert 0.0 <= prob <= 1.0
+    assert expected >= 0.0
+    # Union bound: P[at least one miss] <= E[#misses].
+    assert 1.0 - prob <= expected + 1e-9
+
+
+@given(
+    st.floats(0.0, 2.0, allow_nan=False),
+    st.floats(0.1, 100.0, allow_nan=False),
+    st.lists(st.floats(-10, 10, allow_nan=False), min_size=0, max_size=10),
+    st.integers(0, 50),
+    st.floats(0.0, 10.0, allow_nan=False),
+)
+def test_aggregate_bound_is_probability(delta, mu, values, unaccessed, v_m):
+    bound = aggregate_sum_tail_bound(delta, mu, values, unaccessed, v_m)
+    assert 0.0 <= bound <= 1.0

@@ -1,0 +1,38 @@
+"""Shared fixtures for query-layer tests.
+
+One small MovieLens-like dataset with a frozen (pretrained) embedding is
+shared across the module: it is deterministic, fast to build, and has
+the clustered geometry the query algorithms are designed for.
+"""
+
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.kg.generators import movielens_like
+from repro.query.engine import EngineConfig, QueryEngine
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return movielens_like(
+        num_users=120,
+        num_movies=260,
+        num_genres=8,
+        num_tags=24,
+        num_ratings=2400,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def model(dataset):
+    graph, world = dataset
+    return PretrainedEmbedding.from_world(graph, world, dim=32, seed=0)
+
+
+@pytest.fixture
+def engine(dataset, model):
+    graph, _ = dataset
+    return QueryEngine.from_graph(
+        graph, EngineConfig(index="cracking", epsilon=0.5), model=model
+    )

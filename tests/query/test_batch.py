@@ -1,0 +1,57 @@
+"""Tests for batch query execution."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.batch import BatchQuery, run_batch
+
+
+@pytest.fixture
+def queries(dataset):
+    graph, world = dataset
+    likes = graph.relations.id_of("likes")
+    users = world.members("user")[:6]
+    movies = world.members("movie")[:2]
+    return (
+        [BatchQuery(u, likes, "tail") for u in users]
+        + [BatchQuery(m, likes, "head") for m in movies]
+        + [BatchQuery(users[0], likes, "tail")]  # duplicate
+    )
+
+
+def test_batch_results_in_input_order(engine, queries):
+    report = run_batch(engine, queries, k=5)
+    assert len(report.results) == len(queries)
+    for query, result in zip(queries, report.results):
+        if query.direction == "tail":
+            expected = engine.topk_tails(query.entity, query.relation, 5)
+        else:
+            expected = engine.topk_heads(query.entity, query.relation, 5)
+        assert result.entities == expected.entities
+
+
+def test_batch_dedupes(engine, queries):
+    report = run_batch(engine, queries, k=3)
+    assert report.total_queries == len(queries)
+    assert report.unique_executed == len(queries) - 1
+    assert report.dedup_ratio < 1.0
+    # Duplicate queries share the identical result object.
+    assert report.results[0] is report.results[-1]
+
+
+def test_batch_empty(engine):
+    report = run_batch(engine, [], k=3)
+    assert report.results == []
+    assert report.dedup_ratio == 1.0
+
+
+def test_batch_validates_direction(engine, dataset):
+    graph, world = dataset
+    likes = graph.relations.id_of("likes")
+    with pytest.raises(QueryError):
+        run_batch(engine, [BatchQuery(0, likes, "sideways")], k=3)
+
+
+def test_batch_counts_points(engine, queries):
+    report = run_batch(engine, queries, k=3)
+    assert report.points_examined > 0

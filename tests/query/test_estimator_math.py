@@ -1,0 +1,121 @@
+"""Analytic correctness of the aggregate estimators (Eq. 3 / Eq. 4).
+
+These tests bypass the index and drive ``AggregateProcessor._combine``
+and ``_expected_max`` directly with hand-constructed probabilities, so
+the estimator formulas are checked against values computed by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query.aggregates import AggregateProcessor, _expected_max
+
+
+@pytest.fixture
+def combine(engine):
+    # _combine is a pure function of its arguments; borrow any processor.
+    return engine._aggregates._combine
+
+
+class TestEq3:
+    def test_sum_full_access_is_probability_weighted_sum(self, combine):
+        values = np.array([10.0, 20.0, 30.0])
+        probs = np.array([1.0, 0.5, 0.2])
+        # a == b: scale factor is 1, E[s] = sum v_i p_i.
+        result = combine("sum", values, probs, np.empty(0))
+        assert result == pytest.approx(10 + 10 + 6)
+
+    def test_sum_scales_by_unaccessed_mass(self, combine):
+        values = np.array([10.0, 20.0])
+        accessed = np.array([1.0, 0.5])
+        unaccessed = np.array([0.3, 0.2])
+        # E[s] = (10*1 + 20*0.5) * (1.5 + 0.5) / 1.5
+        expected = 20.0 * 2.0 / 1.5
+        result = combine("sum", values, accessed, unaccessed)
+        assert result == pytest.approx(expected)
+
+    def test_count_equals_sum_of_ones(self, combine):
+        accessed = np.array([1.0, 0.5, 0.25])
+        unaccessed = np.array([0.1])
+        count = combine("count", np.ones(3), accessed, unaccessed)
+        # (1+0.5+0.25) * (1.85/1.75) = total probability mass.
+        assert count == pytest.approx(1.85)
+
+    def test_avg_is_probability_weighted_mean(self, combine):
+        values = np.array([10.0, 20.0])
+        probs = np.array([1.0, 0.25])
+        expected = (10 * 1.0 + 20 * 0.25) / 1.25
+        assert combine("avg", values, probs, np.empty(0)) == pytest.approx(expected)
+
+    def test_avg_ignores_unaccessed_scale(self, combine):
+        values = np.array([10.0, 20.0])
+        probs = np.array([1.0, 0.25])
+        with_unaccessed = combine("avg", values, probs, np.array([0.5, 0.5]))
+        without = combine("avg", values, probs, np.empty(0))
+        assert with_unaccessed == pytest.approx(without)
+
+    def test_zero_probability_mass(self, combine):
+        assert combine("sum", np.array([5.0]), np.array([0.0]), np.empty(0)) == 0.0
+        assert combine("avg", np.array([5.0]), np.array([0.0]), np.empty(0)) == 0.0
+
+
+class TestEq4:
+    def test_expected_sample_max_telescoping(self):
+        """E[M_S] = u1 p1 + u2 (1-p1) p2 + residual * v_min, then the
+        (1 + 1/sum p) extrapolation — checked by hand."""
+        values = np.array([10.0, 4.0])
+        probs = np.array([0.5, 1.0])
+        sample_max = 10 * 0.5 + 4 * 0.5 * 1.0  # = 7.0, no residual mass
+        n_eff = 1.5
+        expected = (sample_max - 4.0) * (1 + 1 / n_eff) + 4.0
+        assert _expected_max(values, probs) == pytest.approx(expected)
+
+    def test_order_of_values_does_not_matter(self):
+        a = _expected_max(np.array([4.0, 10.0]), np.array([1.0, 0.5]))
+        b = _expected_max(np.array([10.0, 4.0]), np.array([0.5, 1.0]))
+        assert a == pytest.approx(b)
+
+    def test_monte_carlo_agreement(self):
+        """The closed-form E[M_S] part matches simulation of the
+        membership process (each entity independently relevant with its
+        probability; max of the relevant values, v_min if none)."""
+        rng = np.random.default_rng(0)
+        values = np.array([9.0, 6.0, 3.0, 1.0])
+        probs = np.array([0.3, 0.6, 0.8, 0.9])
+        trials = 60_000
+        draws = rng.random((trials, 4)) < probs
+        sample_maxes = np.where(
+            draws.any(axis=1),
+            (np.where(draws, values, -np.inf)).max(axis=1),
+            values.min(),
+        )
+        simulated = float(sample_maxes.mean())
+        order = np.argsort(values)[::-1]
+        u, p = values[order], probs[order]
+        survival, closed_form = 1.0, 0.0
+        for value, prob in zip(u, p):
+            closed_form += value * survival * prob
+            survival *= 1 - prob
+        closed_form += values.min() * survival
+        assert closed_form == pytest.approx(simulated, rel=0.02)
+
+
+class TestUnaccessedProbabilityEstimation:
+    def test_contour_estimates_cover_all_unaccessed(self, engine, dataset):
+        graph, world = dataset
+        likes = graph.relations.id_of("likes")
+        user = world.members("user")[0]
+        q1 = engine.model.tail_query_point(user, likes)
+        processor = engine._aggregates
+        ids, dists, _ = processor._ball(q1, 0.1, frozenset(), refine_index=True)
+        if len(ids) < 4:
+            pytest.skip("ball too small in this configuration")
+        from repro.query.probability import InverseDistanceProbability
+
+        model = InverseDistanceProbability(float(dists.min()))
+        estimates = processor._estimate_unaccessed_probabilities(
+            ids[len(ids) // 2 :], engine.transform(q1), model
+        )
+        assert len(estimates) == len(ids) - len(ids) // 2
+        assert np.all(estimates > 0.0)
+        assert np.all(estimates <= 1.0)

@@ -1,0 +1,60 @@
+"""Tests for the inverse-distance probability model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query.probability import InverseDistanceProbability
+
+
+def test_closest_entity_has_probability_one():
+    model = InverseDistanceProbability(0.5)
+    assert model.probability(0.5) == 1.0
+    assert model.probability(0.2) == 1.0  # below anchor still capped at 1
+
+
+def test_inverse_proportionality():
+    model = InverseDistanceProbability(0.5)
+    assert model.probability(1.0) == 0.5
+    assert model.probability(2.0) == 0.25
+    assert model.probability(5.0) == 0.1
+
+
+def test_vectorised_matches_scalar():
+    model = InverseDistanceProbability(0.3)
+    distances = np.array([0.1, 0.3, 0.6, 3.0])
+    probs = model.probabilities(distances)
+    for d, p in zip(distances, probs):
+        assert p == pytest.approx(model.probability(float(d)))
+
+
+def test_ball_radius_inverts_threshold():
+    model = InverseDistanceProbability(0.5)
+    radius = model.ball_radius(0.05)
+    assert radius == pytest.approx(10.0)
+    assert model.probability(radius) == pytest.approx(0.05)
+
+
+def test_from_distances_uses_min():
+    model = InverseDistanceProbability.from_distances(np.array([0.9, 0.4, 1.2]))
+    assert model.min_distance == pytest.approx(0.4)
+
+
+def test_zero_min_distance_floored():
+    model = InverseDistanceProbability(0.0)
+    assert model.probability(1.0) > 0.0
+    assert np.isfinite(model.ball_radius(0.5))
+
+
+def test_validation():
+    with pytest.raises(QueryError):
+        InverseDistanceProbability(-1.0)
+    model = InverseDistanceProbability(0.5)
+    with pytest.raises(QueryError):
+        model.probability(-0.1)
+    with pytest.raises(QueryError):
+        model.ball_radius(0.0)
+    with pytest.raises(QueryError):
+        model.ball_radius(1.5)
+    with pytest.raises(QueryError):
+        InverseDistanceProbability.from_distances(np.array([]))

@@ -1,0 +1,107 @@
+"""Tests for FINDTOP-KENTITIES (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.index.cracking import CrackingRTree
+from repro.index.store import PointStore
+from repro.query.topk import find_topk
+from repro.transform.jl import JLTransform
+
+
+@pytest.fixture
+def setup():
+    """Clustered synthetic points with known structure."""
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(6, 20)) * 3.0
+    points = np.vstack(
+        [center + rng.normal(scale=0.15, size=(80, 20)) for center in centers]
+    )
+    transform = JLTransform(20, 3, seed=1)
+    store = PointStore(transform(points))
+    index = CrackingRTree(store, leaf_capacity=16, fanout=4)
+    return points, transform, index
+
+
+def exact_topk(points, q, k, exclude=frozenset()):
+    dists = np.linalg.norm(points - q, axis=1)
+    order = [i for i in np.argsort(dists) if i not in exclude]
+    return [int(i) for i in order[:k]]
+
+
+def test_finds_exact_topk_with_generous_epsilon(setup):
+    points, transform, index = setup
+    rng = np.random.default_rng(2)
+    hits = 0
+    trials = 10
+    for _ in range(trials):
+        q = points[rng.integers(len(points))] + rng.normal(scale=0.05, size=20)
+        result = find_topk(index, points, transform, q, k=5, epsilon=1.0)
+        expected = exact_topk(points, q, 5)
+        hits += len(set(result.entities) & set(expected))
+    assert hits / (5 * trials) >= 0.9
+
+
+def test_distances_increasing(setup):
+    points, transform, index = setup
+    result = find_topk(index, points, transform, points[0], k=8, epsilon=0.5)
+    assert list(result.distances) == sorted(result.distances)
+    assert len(result) == 8
+
+
+def test_exclusion_respected(setup):
+    points, transform, index = setup
+    q = points[10]
+    full = find_topk(index, points, transform, q, k=5, epsilon=0.5)
+    banned = frozenset(full.entities)
+    filtered = find_topk(index, points, transform, q, k=5, epsilon=0.5, exclude=banned)
+    assert not banned & set(filtered.entities)
+
+
+def test_examines_fraction_of_points(setup):
+    """The point of the index: far fewer S1 distance evaluations than a
+    full scan on clustered data."""
+    points, transform, index = setup
+    q = points[42]
+    result = find_topk(index, points, transform, q, k=5, epsilon=0.5)
+    assert result.points_examined < 0.6 * len(points)
+
+
+def test_refines_index(setup):
+    points, transform, index = setup
+    assert index.splits_performed == 0
+    find_topk(index, points, transform, points[0], k=5, epsilon=0.5)
+    assert index.splits_performed > 0
+
+
+def test_refine_can_be_disabled(setup):
+    points, transform, index = setup
+    find_topk(index, points, transform, points[0], k=5, epsilon=0.5, refine_index=False)
+    assert index.splits_performed == 0
+
+
+def test_k_exceeding_population(setup):
+    points, transform, index = setup
+    exclude = frozenset(range(len(points) - 3))
+    result = find_topk(
+        index, points, transform, points[-1], k=10, epsilon=0.5, exclude=exclude
+    )
+    assert len(result) == 3
+
+
+def test_validation(setup):
+    points, transform, index = setup
+    with pytest.raises(QueryError):
+        find_topk(index, points, transform, points[0], k=0)
+    with pytest.raises(QueryError):
+        find_topk(index, points, transform, points[0], k=5, epsilon=-0.5)
+
+
+def test_radius_shrinks_from_seed_estimate(setup):
+    points, transform, index = setup
+    q = points[100]
+    result = find_topk(index, points, transform, q, k=5, epsilon=0.5)
+    # Final radius equals the k-th best S1 distance times (1 + eps).
+    assert result.final_radius == pytest.approx(result.kth_distance * 1.5)
+    assert result.query_region is not None

@@ -1,0 +1,92 @@
+"""Edge-case tests for find_topk (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.index.cracking import CrackingRTree
+from repro.index.store import PointStore
+from repro.query.topk import TopKResult, find_topk
+from repro.transform.jl import JLTransform
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(70)
+    s1 = rng.normal(size=(80, 12))
+    transform = JLTransform(12, 3, seed=0)
+    store = PointStore(transform(s1))
+    index = CrackingRTree(store, leaf_capacity=8, fanout=4)
+    return s1, transform, index
+
+
+def test_everything_excluded_returns_empty(setup):
+    s1, transform, index = setup
+    result = find_topk(
+        index, s1, transform, s1[0], k=5, exclude=frozenset(range(80))
+    )
+    assert len(result) == 0
+    assert result.entities == ()
+    assert result.query_region is None
+    assert result.kth_distance == float("inf")
+
+
+def test_single_eligible_entity(setup):
+    s1, transform, index = setup
+    exclude = frozenset(set(range(80)) - {17})
+    result = find_topk(index, s1, transform, s1[0], k=5, exclude=exclude)
+    assert result.entities == (17,)
+
+
+def test_allowed_whitelist_strictly_enforced(setup):
+    s1, transform, index = setup
+    allowed = frozenset({3, 9, 40, 66})
+    result = find_topk(
+        index, s1, transform, s1[3], k=10, allowed=allowed
+    )
+    assert set(result.entities) <= allowed
+    assert len(result) == 4  # only four candidates exist
+
+
+def test_allowed_and_exclude_compose(setup):
+    s1, transform, index = setup
+    allowed = frozenset({3, 9, 40})
+    result = find_topk(
+        index, s1, transform, s1[3], k=10,
+        allowed=allowed, exclude=frozenset({3}),
+    )
+    assert set(result.entities) == {9, 40}
+
+
+def test_query_point_far_from_all_data(setup):
+    """A query far outside the data still returns the k nearest."""
+    s1, transform, index = setup
+    q = np.full(12, 30.0)
+    result = find_topk(index, s1, transform, q, k=5, epsilon=0.5)
+    dists = np.linalg.norm(s1 - q, axis=1)
+    truth = set(np.argsort(dists)[:5].tolist())
+    assert len(truth & set(result.entities)) >= 4
+
+
+def test_zero_epsilon_is_legal(setup):
+    s1, transform, index = setup
+    result = find_topk(index, s1, transform, s1[5], k=3, epsilon=0.0)
+    assert len(result) == 3
+    assert result.final_radius == pytest.approx(result.kth_distance)
+
+
+def test_duplicate_points_all_retrievable():
+    """Many identical points: k results with zero distances."""
+    s1 = np.vstack([np.zeros((10, 6)), np.ones((10, 6))])
+    transform = JLTransform(6, 3, seed=1)
+    store = PointStore(transform(s1))
+    index = CrackingRTree(store, leaf_capacity=4, fanout=2)
+    result = find_topk(index, s1, transform, np.zeros(6), k=5, epsilon=0.5)
+    assert len(result) == 5
+    assert all(d == pytest.approx(0.0) for d in result.distances)
+    assert set(result.entities) <= set(range(10))
+
+
+def test_result_len_and_properties():
+    result = TopKResult((1, 2), (0.1, 0.2), 7, 0.3, None)
+    assert len(result) == 2
+    assert result.kth_distance == 0.2

@@ -1,0 +1,109 @@
+"""Tests for the VirtualKnowledgeGraph facade."""
+
+import pytest
+
+from repro.errors import QueryError, VocabularyError
+from repro.query.vkg import PredictedEdge, VirtualKnowledgeGraph
+
+
+@pytest.fixture
+def vkg(dataset, engine):
+    graph, _ = dataset
+    return VirtualKnowledgeGraph(graph, engine)
+
+
+def test_top_tails_returns_predicted_edges(vkg):
+    edges = vkg.top_tails("user:0", "likes", k=5)
+    assert len(edges) == 5
+    for edge in edges:
+        assert isinstance(edge, PredictedEdge)
+        assert edge.head == "user:0"
+        assert edge.relation == "likes"
+        assert edge.tail.startswith(("movie:", "user:", "genre:", "tag:"))
+        assert 0.0 < edge.probability <= 1.0
+
+
+def test_top_tails_excludes_known_facts(vkg):
+    graph = vkg.graph
+    user = graph.entities.id_of("user:0")
+    likes = graph.relations.id_of("likes")
+    known_names = {
+        graph.entities.name_of(t) for t in graph.tails(user, likes)
+    }
+    edges = vkg.top_tails("user:0", "likes", k=10)
+    assert not known_names & {e.tail for e in edges}
+
+
+def test_top_heads_direction(vkg):
+    edges = vkg.top_heads("movie:0", "likes", k=3)
+    for edge in edges:
+        assert edge.tail == "movie:0"
+        assert edge.relation == "likes"
+
+
+def test_unknown_names_raise(vkg):
+    with pytest.raises(VocabularyError):
+        vkg.top_tails("nobody", "likes")
+    with pytest.raises(VocabularyError):
+        vkg.top_tails("user:0", "no-relation")
+
+
+def test_edge_probability_known_fact_is_one(vkg):
+    graph = vkg.graph
+    triple = next(iter(graph.triples()))
+    head = graph.entities.name_of(triple.head)
+    rel = graph.relations.name_of(triple.relation)
+    tail = graph.entities.name_of(triple.tail)
+    assert vkg.edge_probability(head, rel, tail) == 1.0
+
+
+def test_edge_probability_predicted_in_unit_interval(vkg):
+    p = vkg.edge_probability("user:0", "likes", "movie:1")
+    graph = vkg.graph
+    if not graph.has_triple(
+        graph.entities.id_of("user:0"),
+        graph.relations.id_of("likes"),
+        graph.entities.id_of("movie:1"),
+    ):
+        assert 0.0 < p <= 1.0
+
+
+def test_aggregate_q2_style(vkg):
+    estimate = vkg.aggregate(
+        "avg", "year", head="user:1", relation="likes", p_tau=0.1
+    )
+    assert 1930 <= estimate.value <= 2018
+
+
+def test_aggregate_requires_exactly_one_side(vkg):
+    with pytest.raises(QueryError):
+        vkg.aggregate("count", relation="likes")
+    with pytest.raises(QueryError):
+        vkg.aggregate(
+            "count", head="user:0", tail="movie:0", relation="likes"
+        )
+    with pytest.raises(QueryError):
+        vkg.aggregate("count", head="user:0")
+
+
+def test_aggregate_tail_side(vkg):
+    estimate = vkg.aggregate("count", tail="movie:0", relation="likes", p_tau=0.2)
+    assert estimate.value >= 0
+
+
+def test_predicted_edge_as_triple():
+    edge = PredictedEdge("a", "r", "b", 0.5)
+    assert edge.as_triple() == ("a", "r", "b")
+
+
+def test_build_classmethod(dataset):
+    """VirtualKnowledgeGraph.build trains an embedding end to end."""
+    graph, _ = dataset
+    from repro import EngineConfig, TrainConfig
+
+    vkg = VirtualKnowledgeGraph.build(
+        graph,
+        EngineConfig(train=TrainConfig(dim=16, epochs=3, seed=0)),
+    )
+    edges = vkg.top_tails("user:0", "likes", k=3)
+    assert len(edges) == 3

@@ -1,0 +1,122 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("data")
+    code = main(
+        ["generate", "--dataset", "movie", "--out", str(out), "--scale", "0.08"]
+    )
+    assert code == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory, dataset_dir):
+    out = tmp_path_factory.mktemp("artifact")
+    code = main(
+        [
+            "train",
+            "--triples", str(dataset_dir / "graph.tsv"),
+            "--attributes", str(dataset_dir / "attributes.tsv"),
+            "--out", str(out),
+            "--dim", "16",
+            "--epochs", "5",
+            "--epsilon", "1.0",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+def test_generate_writes_files(dataset_dir):
+    assert (dataset_dir / "graph.tsv").exists()
+    assert (dataset_dir / "attributes.tsv").exists()
+    assert (dataset_dir / "graph.tsv").read_text().count("\n") > 100
+
+
+def test_stats(dataset_dir, capsys):
+    assert main(["stats", "--triples", str(dataset_dir / "graph.tsv")]) == 0
+    out = capsys.readouterr().out
+    assert "Entities" in out
+    assert "mean degree" in out
+
+
+def test_train_creates_artifact(artifact_dir):
+    assert (artifact_dir / "meta.json").exists()
+    assert (artifact_dir / "arrays.npz").exists()
+
+
+def test_query_head_direction(artifact_dir, capsys):
+    code = main(
+        [
+            "query",
+            "--artifact", str(artifact_dir),
+            "--head", "user:0",
+            "--relation", "likes",
+            "-k", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "top-3 tails" in out
+    assert "probability" in out
+
+
+def test_query_with_explain(artifact_dir, capsys):
+    code = main(
+        [
+            "query",
+            "--artifact", str(artifact_dir),
+            "--head", "user:1",
+            "--relation", "likes",
+            "--explain",
+        ]
+    )
+    assert code == 0
+    assert "entities" in capsys.readouterr().out
+
+
+def test_query_requires_one_side(artifact_dir, capsys):
+    code = main(
+        ["query", "--artifact", str(artifact_dir), "--relation", "likes"]
+    )
+    assert code == 2
+
+
+def test_aggregate(artifact_dir, capsys):
+    code = main(
+        [
+            "aggregate",
+            "--artifact", str(artifact_dir),
+            "--head", "user:0",
+            "--relation", "likes",
+            "--kind", "avg",
+            "--attribute", "year",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "AVG(year)" in out
+
+
+def test_aggregate_requires_one_side(artifact_dir):
+    code = main(
+        [
+            "aggregate",
+            "--artifact", str(artifact_dir),
+            "--relation", "likes",
+            "--kind", "count",
+        ]
+    )
+    assert code == 2
+
+
+def test_bench_subcommand(capsys):
+    code = main(["bench", "--figure", "table1", "--scale", "0.05"])
+    assert code == 0
+    assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,26 @@
+"""CLI generate for the remaining dataset variants (freebase / amazon)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("dataset", ["freebase", "amazon"])
+def test_generate_variant(tmp_path, dataset, capsys):
+    out = tmp_path / dataset
+    code = main(
+        ["generate", "--dataset", dataset, "--out", str(out), "--scale", "0.05"]
+    )
+    assert code == 0
+    assert (out / "graph.tsv").exists()
+    assert (out / "attributes.tsv").exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_generate_then_stats_roundtrip(tmp_path, capsys):
+    out = tmp_path / "fb"
+    main(["generate", "--dataset", "freebase", "--out", str(out), "--scale", "0.05"])
+    capsys.readouterr()
+    assert main(["stats", "--triples", str(out / "graph.tsv")]) == 0
+    report = capsys.readouterr().out
+    assert "Relationship types" in report

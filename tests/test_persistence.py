@@ -1,0 +1,90 @@
+"""Tests for engine persistence (save_engine / load_engine)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.errors import ReproError
+from repro.kg.generators import movielens_like
+from repro.persistence import load_engine, save_engine
+from repro.query.engine import EngineConfig, QueryEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph, world = movielens_like(
+        num_users=50, num_movies=100, num_genres=5, num_tags=10, num_ratings=700,
+        seed=4,
+    )
+    model = PretrainedEmbedding.from_world(graph, world, dim=24, seed=0)
+    return QueryEngine.from_graph(
+        graph, EngineConfig(index="cracking", epsilon=0.5, alpha=3), model=model
+    )
+
+
+def test_roundtrip_preserves_answers(tmp_path, engine):
+    save_engine(engine, tmp_path / "artifact")
+    restored = load_engine(tmp_path / "artifact")
+    likes = engine.graph.relations.id_of("likes")
+    for i in range(5):
+        user = engine.graph.entities.id_of(f"user:{i}")
+        original = engine.topk_tails(user, likes, 5)
+        loaded = restored.topk_tails(
+            restored.graph.entities.id_of(f"user:{i}"),
+            restored.graph.relations.id_of("likes"),
+            5,
+        )
+        assert original.entities == loaded.entities
+        assert np.allclose(original.distances, loaded.distances)
+
+
+def test_roundtrip_preserves_graph(tmp_path, engine):
+    save_engine(engine, tmp_path / "artifact")
+    restored = load_engine(tmp_path / "artifact")
+    assert restored.graph.num_entities == engine.graph.num_entities
+    assert restored.graph.num_relations == engine.graph.num_relations
+    assert restored.graph.num_triples == engine.graph.num_triples
+    # Entity ids and names round-trip exactly.
+    for i in range(0, engine.graph.num_entities, 17):
+        assert restored.graph.entities.name_of(i) == engine.graph.entities.name_of(i)
+
+
+def test_roundtrip_preserves_attributes_and_types(tmp_path, engine):
+    save_engine(engine, tmp_path / "artifact")
+    restored = load_engine(tmp_path / "artifact")
+    movie = engine.graph.entities.id_of("movie:0")
+    assert restored.graph.attributes.get("year", movie) == engine.graph.attributes.get(
+        "year", movie
+    )
+    assert restored.graph.entity_type(movie) == "movie"
+
+
+def test_roundtrip_preserves_config(tmp_path, engine):
+    save_engine(engine, tmp_path / "artifact")
+    restored = load_engine(tmp_path / "artifact")
+    assert restored.transform.alpha == engine.transform.alpha
+    assert restored.epsilon == engine.epsilon
+    assert np.allclose(np.asarray(restored.transform.matrix),
+                       np.asarray(engine.transform.matrix))
+
+
+def test_load_rejects_unknown_format(tmp_path, engine):
+    save_engine(engine, tmp_path / "artifact")
+    meta_path = tmp_path / "artifact" / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["format_version"] = 999
+    meta_path.write_text(json.dumps(meta))
+    with pytest.raises(ReproError):
+        load_engine(tmp_path / "artifact")
+
+
+def test_aggregates_survive_roundtrip(tmp_path, engine):
+    save_engine(engine, tmp_path / "artifact")
+    restored = load_engine(tmp_path / "artifact")
+    likes = engine.graph.relations.id_of("likes")
+    user = engine.graph.entities.id_of("user:1")
+    a = engine.aggregate_tails(user, likes, "avg", "year", p_tau=0.2)
+    b = restored.aggregate_tails(user, likes, "avg", "year", p_tau=0.2)
+    assert a.value == pytest.approx(b.value)

@@ -1,0 +1,89 @@
+"""Tests for the small support modules: errors, rng, package exports."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    EmbeddingError,
+    GraphError,
+    IndexError_,
+    QueryError,
+    ReproError,
+    TransformError,
+    VocabularyError,
+)
+from repro.rng import ensure_rng, spawn
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            VocabularyError,
+            GraphError,
+            EmbeddingError,
+            TransformError,
+            IndexError_,
+            QueryError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert IndexError_ is not IndexError
+        assert not issubclass(IndexError_, IndexError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise QueryError("boom")
+
+
+class TestRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_children_are_independent_and_reproducible(self):
+        children_a = spawn(ensure_rng(7), 3)
+        children_b = spawn(ensure_rng(7), 3)
+        for a, b in zip(children_a, children_b):
+            assert np.array_equal(
+                a.integers(0, 100, size=4), b.integers(0, 100, size=4)
+            )
+        draws = {tuple(c.integers(0, 10**9, size=2)) for c in spawn(ensure_rng(8), 4)}
+        assert len(draws) == 4
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_index_package_exports(self):
+        from repro import index
+
+        for name in index.__all__:
+            assert hasattr(index, name), name
+
+    def test_quickstart_surface(self):
+        """The README's imports exist."""
+        from repro import (  # noqa: F401
+            EngineConfig,
+            TrainConfig,
+            VirtualKnowledgeGraph,
+            train_model,
+        )
+        from repro.dynamic import OnlineUpdater  # noqa: F401
+        from repro.persistence import load_engine, save_engine  # noqa: F401
+        from repro.query.batch import run_batch  # noqa: F401
+        from repro.transform.bounds import suggest_epsilon  # noqa: F401

@@ -1,0 +1,58 @@
+"""Larger-scale stress tests (kept under ~10 s each)."""
+
+import numpy as np
+import pytest
+
+from repro.index.cracking import CrackingRTree
+from repro.index.geometry import Rect
+from repro.index.store import PointStore
+from repro.index.validation import check_invariants
+
+
+@pytest.fixture(scope="module")
+def big_store():
+    rng = np.random.default_rng(99)
+    centers = rng.normal(size=(30, 3)) * 3.0
+    points = np.vstack(
+        [center + rng.normal(scale=0.2, size=(400, 3)) for center in centers]
+    )
+    return PointStore(points)  # 12,000 points
+
+
+def test_heavy_query_stream_stays_correct(big_store):
+    tree = CrackingRTree(big_store, leaf_capacity=32, fanout=8)
+    rng = np.random.default_rng(100)
+    coords = big_store.coords
+    for i in range(60):
+        center = coords[rng.integers(big_store.size)]
+        rect = Rect.ball_box(center, rng.uniform(0.2, 0.8))
+        found = tree.crack_and_search(rect)
+        # Spot-check with a vectorised brute force.
+        expected = int(rect.contains_points(coords).sum())
+        assert len(found) == expected
+    check_invariants(tree)
+    stats = tree.stats()
+    assert stats.node_count > 10  # genuinely cracked
+    assert stats.frontier_elements > 0  # but far from fully built
+
+
+def test_heavy_mixed_update_stream(big_store):
+    tree = CrackingRTree(big_store, leaf_capacity=32, fanout=8)
+    rng = np.random.default_rng(101)
+    for _ in range(10):
+        tree.crack_and_search(
+            Rect.ball_box(big_store.coords[rng.integers(big_store.size)], 0.5)
+        )
+    live = set(range(big_store.size))
+    for _ in range(300):
+        if rng.random() < 0.5 and live:
+            victim = int(rng.choice(sorted(live)[:50]))
+            if tree.delete(victim):
+                live.discard(victim)
+        else:
+            ident = big_store.append(rng.normal(size=3) * 2.0)
+            tree.insert(ident)
+            live.add(ident)
+    everything = Rect(np.full(3, -1e6), np.full(3, 1e6))
+    assert sorted(tree.search(everything).tolist()) == sorted(live)
+    check_invariants(tree, expected_ids=live)

@@ -1,0 +1,165 @@
+"""Tests for the Theorem 1-4 bound formulas, including the paper's own
+worked numeric examples."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.transform.bounds import (
+    aggregate_sum_tail_bound,
+    count_tail_bound,
+    false_inclusion_bound,
+    theorem1_lower_tail,
+    theorem1_upper_tail,
+    topk_expected_misses,
+    topk_no_miss_probability,
+)
+from repro.transform.jl import JLTransform
+
+
+def test_paper_example_upper_tail():
+    """'we set eps = 3 ... alpha = 3, then with confidence 91.2%,
+    l2 < 2 l1' -> Delta_u(3) with alpha 3 is about 0.088."""
+    bound = theorem1_upper_tail(3.0, 3)
+    assert 1.0 - bound == pytest.approx(0.912, abs=0.005)
+
+
+def test_paper_example_lower_tail():
+    """'setting eps = 15/16 (alpha = 3) ... with confidence at least 94%,
+    l2 > l1/4' -> Delta_l(15/16) with alpha 3 is about 0.064 (the paper
+    rounds 93.6% up to 94%)."""
+    bound = theorem1_lower_tail(15.0 / 16.0, 3)
+    assert bound == pytest.approx(0.0638, abs=0.001)
+    assert 1.0 - bound >= 0.93
+
+
+def test_upper_tail_decreases_with_alpha():
+    assert theorem1_upper_tail(1.0, 6) < theorem1_upper_tail(1.0, 3)
+
+
+def test_upper_tail_decreases_with_epsilon():
+    assert theorem1_upper_tail(2.0, 3) < theorem1_upper_tail(0.5, 3)
+
+
+def test_bounds_are_probabilities():
+    for eps in (0.1, 0.5, 1.0, 3.0, 10.0):
+        assert 0.0 <= theorem1_upper_tail(eps, 3) <= 1.0
+    for eps in (0.05, 0.5, 0.95):
+        assert 0.0 <= theorem1_lower_tail(eps, 3) <= 1.0
+
+
+def test_bounds_input_validation():
+    with pytest.raises(TransformError):
+        theorem1_upper_tail(0.0, 3)
+    with pytest.raises(TransformError):
+        theorem1_upper_tail(1.0, 0)
+    with pytest.raises(TransformError):
+        theorem1_lower_tail(1.0, 3)
+    with pytest.raises(TransformError):
+        theorem1_lower_tail(-0.2, 3)
+
+
+def test_empirical_upper_tail_respects_bound():
+    """Monte-Carlo check of Theorem 1 Eq. (1): the observed frequency of
+    l2 >= sqrt(1+eps) l1 never exceeds Delta_u(eps) materially."""
+    rng = np.random.default_rng(0)
+    u = rng.normal(size=30)
+    v = rng.normal(size=30)
+    l1 = float(np.linalg.norm(u - v))
+    eps, alpha, trials = 1.0, 3, 3000
+    exceed = 0
+    for seed in range(trials):
+        t = JLTransform(30, alpha, seed=seed)
+        l2 = float(np.linalg.norm(t(u) - t(v)))
+        if l2 >= math.sqrt(1 + eps) * l1:
+            exceed += 1
+    observed = exceed / trials
+    assert observed <= theorem1_upper_tail(eps, alpha) + 0.02
+
+
+def test_empirical_lower_tail_respects_bound():
+    rng = np.random.default_rng(1)
+    u = rng.normal(size=30)
+    v = rng.normal(size=30)
+    l1 = float(np.linalg.norm(u - v))
+    eps, alpha, trials = 0.75, 3, 3000
+    below = 0
+    for seed in range(trials):
+        t = JLTransform(30, alpha, seed=seed)
+        l2 = float(np.linalg.norm(t(u) - t(v)))
+        if l2 <= math.sqrt(1 - eps) * l1:
+            below += 1
+    observed = below / trials
+    assert observed <= theorem1_lower_tail(eps, alpha) + 0.02
+
+
+def test_topk_no_miss_probability_improves_with_epsilon():
+    ratios = [1.0, 1.1, 1.3]
+    low = topk_no_miss_probability(ratios, alpha=3, epsilon=0.2)
+    high = topk_no_miss_probability(ratios, alpha=3, epsilon=2.0)
+    assert 0.0 <= low <= high <= 1.0
+
+
+def test_topk_no_miss_probability_near_one_for_large_margin():
+    # m_i = 4 for every entity: essentially certain (the paper's example).
+    prob = topk_no_miss_probability([1.0] * 5, alpha=3, epsilon=3.0)
+    assert prob > 0.999
+
+
+def test_topk_expected_misses_monotone_in_k():
+    few = topk_expected_misses([1.0] * 2, alpha=3, epsilon=0.5)
+    many = topk_expected_misses([1.0] * 10, alpha=3, epsilon=0.5)
+    assert many > few
+
+
+def test_topk_validation():
+    with pytest.raises(TransformError):
+        topk_no_miss_probability([1.0], alpha=0, epsilon=0.5)
+    with pytest.raises(TransformError):
+        topk_expected_misses([1.0], alpha=3, epsilon=-1.0)
+
+
+def test_false_inclusion_bound_decreases_with_eps_prime():
+    assert false_inclusion_bound(0.9, 3) < false_inclusion_bound(0.1, 3)
+    with pytest.raises(TransformError):
+        false_inclusion_bound(1.0, 3)
+    with pytest.raises(TransformError):
+        false_inclusion_bound(0.5, 0)
+
+
+def test_false_inclusion_is_probability():
+    for eps in (0.05, 0.3, 0.6, 0.95):
+        assert 0.0 <= false_inclusion_bound(eps, 3) <= 1.0
+
+
+def test_aggregate_tail_bound_shrinks_with_delta():
+    values = [2.0, 3.0, 1.0]
+    loose = aggregate_sum_tail_bound(0.1, 10.0, values, 5, 3.0)
+    tight = aggregate_sum_tail_bound(0.5, 10.0, values, 5, 3.0)
+    assert tight < loose
+
+
+def test_aggregate_tail_bound_full_access_is_tighter():
+    values = [2.0, 3.0, 1.0]
+    sampled = aggregate_sum_tail_bound(0.5, 10.0, values, 20, 3.0)
+    full = aggregate_sum_tail_bound(0.5, 10.0, values, 0, 3.0)
+    assert full < sampled
+
+
+def test_aggregate_tail_bound_zero_denominator_is_exact():
+    assert aggregate_sum_tail_bound(0.5, 0.0, [], 0, 0.0) == 0.0
+
+
+def test_count_tail_bound_specialisation():
+    direct = count_tail_bound(0.3, 8.0, accessed=4, unaccessed=6)
+    via_sum = aggregate_sum_tail_bound(0.3, 8.0, [1.0] * 4, 6, 1.0)
+    assert direct == pytest.approx(via_sum)
+
+
+def test_aggregate_bound_validation():
+    with pytest.raises(TransformError):
+        aggregate_sum_tail_bound(-0.1, 1.0, [1.0], 0, 1.0)
+    with pytest.raises(TransformError):
+        aggregate_sum_tail_bound(0.1, 1.0, [1.0], -1, 1.0)

@@ -1,0 +1,74 @@
+"""Tests for repro.transform.jl."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.transform.jl import JLTransform
+
+
+def test_output_shapes():
+    t = JLTransform(50, 3, seed=0)
+    assert t.transform(np.zeros(50)).shape == (3,)
+    assert t.transform(np.zeros((7, 50))).shape == (7, 3)
+    assert t.alpha == 3
+
+
+def test_batch_matches_single():
+    t = JLTransform(20, 4, seed=1)
+    rng = np.random.default_rng(0)
+    batch = rng.normal(size=(5, 20))
+    projected = t.transform(batch)
+    for i in range(5):
+        assert np.allclose(projected[i], t.transform(batch[i]))
+
+
+def test_linear():
+    t = JLTransform(10, 3, seed=2)
+    rng = np.random.default_rng(1)
+    u, v = rng.normal(size=10), rng.normal(size=10)
+    assert np.allclose(t(u + 2 * v), t(u) + 2 * t(v))
+
+
+def test_squared_distance_is_unbiased():
+    """E[|T(u)-T(v)|^2] == |u-v|^2 thanks to the 1/sqrt(alpha) scale."""
+    rng = np.random.default_rng(3)
+    u, v = rng.normal(size=40), rng.normal(size=40)
+    true_sq = float(((u - v) ** 2).sum())
+    estimates = []
+    for seed in range(400):
+        t = JLTransform(40, 3, seed=seed)
+        diff = t(u) - t(v)
+        estimates.append(float((diff**2).sum()))
+    assert np.mean(estimates) == pytest.approx(true_sq, rel=0.1)
+
+
+def test_matrix_is_read_only():
+    t = JLTransform(10, 3, seed=0)
+    with pytest.raises(ValueError):
+        t.matrix[0, 0] = 1.0
+
+
+def test_same_seed_same_matrix():
+    a = JLTransform(10, 3, seed=5)
+    b = JLTransform(10, 3, seed=5)
+    assert np.array_equal(a.matrix, b.matrix)
+
+
+def test_invalid_configurations():
+    with pytest.raises(TransformError):
+        JLTransform(0, 3)
+    with pytest.raises(TransformError):
+        JLTransform(10, 0)
+    with pytest.raises(TransformError):
+        JLTransform(3, 10)
+
+
+def test_dim_mismatch_raises():
+    t = JLTransform(10, 3, seed=0)
+    with pytest.raises(TransformError):
+        t.transform(np.zeros(11))
+    with pytest.raises(TransformError):
+        t.transform(np.zeros((2, 11)))
+    with pytest.raises(TransformError):
+        t.transform(np.zeros((2, 2, 10)))

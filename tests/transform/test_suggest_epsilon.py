@@ -1,0 +1,55 @@
+"""Tests for the Theorem 2 inversion (suggest_epsilon)."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform.bounds import (
+    suggest_epsilon,
+    topk_no_miss_probability,
+)
+
+
+def test_suggested_epsilon_achieves_target():
+    for target in (0.1, 0.05, 0.01):
+        eps = suggest_epsilon(target, alpha=3, k=5)
+        # Worst case: every ratio is 1.
+        miss = 1.0 - topk_no_miss_probability([1.0] * 5, 3, eps)
+        assert miss <= target + 1e-9
+
+
+def test_suggested_epsilon_is_tight():
+    """A slightly smaller epsilon must violate the target."""
+    target = 0.05
+    eps = suggest_epsilon(target, alpha=3, k=5)
+    smaller = eps * 0.9
+    miss = 1.0 - topk_no_miss_probability([1.0] * 5, 3, smaller)
+    assert miss > target
+
+
+def test_monotonicity_in_target():
+    strict = suggest_epsilon(0.01, alpha=3)
+    loose = suggest_epsilon(0.2, alpha=3)
+    assert strict > loose
+
+
+def test_monotonicity_in_alpha():
+    low_dim = suggest_epsilon(0.05, alpha=2)
+    high_dim = suggest_epsilon(0.05, alpha=6)
+    assert high_dim < low_dim  # better preservation needs less inflation
+
+
+def test_monotonicity_in_k():
+    few = suggest_epsilon(0.05, alpha=3, k=1)
+    many = suggest_epsilon(0.05, alpha=3, k=20)
+    assert many >= few
+
+
+def test_validation():
+    with pytest.raises(TransformError):
+        suggest_epsilon(0.0, alpha=3)
+    with pytest.raises(TransformError):
+        suggest_epsilon(1.0, alpha=3)
+    with pytest.raises(TransformError):
+        suggest_epsilon(0.1, alpha=0)
+    with pytest.raises(TransformError):
+        suggest_epsilon(0.1, alpha=3, k=0)
