@@ -6,7 +6,6 @@ processing is much slower than the R-tree variants even though its
 build is comparable.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench.runners import run_fig5

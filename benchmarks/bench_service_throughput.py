@@ -1,0 +1,47 @@
+"""Serving-layer micro-benchmark: replay throughput and tail latency.
+
+Drives the :class:`~repro.service.server.QueryService` with the replay
+driver at a fixed QPS (and once closed-loop) and records p50/p95/p99 and
+the cache hit rate via pytest-benchmark's ``extra_info``, following the
+figure benches' one-shot convention.
+"""
+
+from conftest import run_once
+
+from repro.bench.serving import run_serving_benchmark
+
+
+def _record(benchmark, result):
+    benchmark.extra_info.update(
+        {
+            "completed": result.completed,
+            "throughput_qps": round(result.throughput_qps, 1),
+            "p50_ms": round(result.p50_ms, 3),
+            "p95_ms": round(result.p95_ms, 3),
+            "p99_ms": round(result.p99_ms, 3),
+            "cache_hit_rate": round(result.cache_hit_rate, 3),
+            "rejected": result.rejected,
+        }
+    )
+
+
+def test_service_closed_loop(benchmark, scale):
+    def run():
+        result, _ = run_serving_benchmark(
+            scale=scale, num_queries=int(400 * scale), threads=4
+        )
+        return result
+
+    result = run_once(benchmark, run)
+    _record(benchmark, result)
+
+
+def test_service_fixed_qps(benchmark, scale):
+    def run():
+        result, _ = run_serving_benchmark(
+            scale=scale, num_queries=int(300 * scale), threads=4, target_qps=200.0
+        )
+        return result
+
+    result = run_once(benchmark, run)
+    _record(benchmark, result)

@@ -11,7 +11,7 @@ factor — is the reproduction target.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.bench.datasets import amazon_dataset
 from repro.bench.methods import H2ALSHMethod, NoIndexMethod, RTreeMethod

@@ -1,0 +1,88 @@
+"""Serving benchmark: replay a workload through the query service.
+
+The figure benches measure single-threaded algorithmic cost; this runner
+measures the *system* — a :class:`~repro.service.server.QueryService`
+under multi-client replay — reporting throughput, latency percentiles,
+and cache effectiveness. Used by ``benchmarks/bench_service_throughput``
+and reusable from notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.datasets import BenchDataset, movie_dataset
+from repro.bench.workloads import make_workload
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.service.replay import ReplayReport, replay
+from repro.service.server import QueryService
+
+
+@dataclass(frozen=True)
+class ServingBenchResult:
+    """Throughput/latency summary of one serving run."""
+
+    total: int
+    completed: int
+    throughput_qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    cache_hit_rate: float
+    rejected: int
+    splits_triggered: int
+
+    def as_row(self) -> list:
+        return [
+            self.total,
+            f"{self.throughput_qps:.0f}",
+            f"{self.p50_ms:.2f}",
+            f"{self.p95_ms:.2f}",
+            f"{self.p99_ms:.2f}",
+            f"{self.cache_hit_rate:.1%}",
+            self.rejected,
+        ]
+
+
+def run_serving_benchmark(
+    dataset: BenchDataset | None = None,
+    scale: float = 1.0,
+    num_queries: int = 400,
+    k: int = 5,
+    threads: int = 4,
+    workers: int = 4,
+    target_qps: float | None = None,
+    index: str = "cracking",
+    skew: float = 0.8,
+    seed: int = 17,
+    cache_capacity: int = 2048,
+) -> tuple[ServingBenchResult, ReplayReport]:
+    """Build a service over ``dataset`` (default: movie) and replay a
+    skewed workload at it. Skew defaults on because repeated queries are
+    what exercise the cache — the serving analogue of the paper's skewed
+    query-space observation."""
+    if dataset is None:
+        dataset = movie_dataset(scale)
+    engine = QueryEngine.from_graph(
+        dataset.graph, EngineConfig(index=index), model=dataset.model
+    )
+    workload = make_workload(dataset.graph, num_queries, seed=seed, skew=skew)
+    with QueryService(
+        engine, workers=workers, cache_capacity=cache_capacity
+    ) as service:
+        report = replay(
+            service, workload, k=k, threads=threads, target_qps=target_qps
+        )
+        snapshot = service.metrics.snapshot()
+    result = ServingBenchResult(
+        total=report.total,
+        completed=report.completed,
+        throughput_qps=report.throughput_qps,
+        p50_ms=report.percentile(0.50) * 1e3,
+        p95_ms=report.percentile(0.95) * 1e3,
+        p99_ms=report.percentile(0.99) * 1e3,
+        cache_hit_rate=report.cache_hit_rate,
+        rejected=report.rejected,
+        splits_triggered=snapshot["counters"]["splits_triggered"],
+    )
+    return result, report

@@ -7,6 +7,8 @@ stats      print Table-I-style statistics for a triple file
 train      train an embedding on a triple file and save an engine artifact
 query      top-k predictive query against a saved artifact
 aggregate  aggregate query against a saved artifact
+serve      run the concurrent query service (JSON HTTP API)
+replay     fire a synthetic workload at a service and report latency
 bench      alias for ``python -m repro.bench``
 
 Example session::
@@ -71,6 +73,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--p-tau", type=float, default=0.25)
     p.add_argument("--access-fraction", type=float, default=1.0)
 
+    p = sub.add_parser("serve", help="run the concurrent query service")
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--max-queue", type=int, default=128)
+    p.add_argument("--cache-size", type=int, default=2048)
+    p.add_argument("--cache-ttl", type=float, default=None)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request deadline in seconds")
+
+    p = sub.add_parser("replay", help="replay a synthetic workload at a service")
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--queries", type=int, default=500)
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--qps", type=float, default=None,
+                   help="target submission rate (default: closed loop)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--skew", type=float, default=0.0)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--cache-size", type=int, default=2048)
+
     p = sub.add_parser("bench", help="run the benchmark harness")
     p.add_argument("--figure", default="all")
     p.add_argument("--scale", type=float, default=1.0)
@@ -82,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "query": _cmd_query,
         "aggregate": _cmd_aggregate,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
         "bench": _cmd_bench,
     }[args.command]
     return handler(args)
@@ -216,6 +243,49 @@ def _cmd_aggregate(args) -> int:
         f"[{estimate.accessed}/{estimate.ball_size} entities accessed, "
         f"p_tau={estimate.p_tau}]"
     )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.persistence import load_engine
+    from repro.service.server import QueryService, serve_forever
+
+    engine = load_engine(args.artifact)
+    service = QueryService(
+        engine,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_capacity=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        default_timeout=args.timeout,
+    )
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.bench.workloads import make_workload
+    from repro.persistence import load_engine
+    from repro.service.replay import replay
+    from repro.service.server import QueryService
+
+    engine = load_engine(args.artifact)
+    workload = make_workload(
+        engine.graph, args.queries, seed=args.seed, skew=args.skew
+    )
+    with QueryService(
+        engine, workers=args.workers, cache_capacity=args.cache_size
+    ) as service:
+        report = replay(
+            service,
+            workload,
+            k=args.k,
+            threads=args.threads,
+            target_qps=args.qps,
+        )
+        print(report.summary())
+        print()
+        print(service.metrics.report())
     return 0
 
 

@@ -24,7 +24,7 @@ vector changes through the same delete/re-project/insert cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -43,6 +43,26 @@ class UpdateReport:
     entities_reindexed: tuple[int, ...] = ()
     local_steps: int = 0
     max_displacement: float = 0.0
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """Notification emitted after every update, for cache invalidation.
+
+    ``old_points`` / ``new_points`` are the S2 coordinates of the
+    re-indexed entities before and after the move (parallel to
+    ``entities_reindexed``); a brand-new entity has only a new point.
+    Listeners (e.g. :class:`repro.service.cache.ResultCache`) use the
+    entity ids to evict results whose *exclusion semantics* changed and
+    the points to evict results whose *query region* a moved entity
+    entered or left.
+    """
+
+    kind: str  # 'add_edge' | 'remove_edge' | 'add_entity' | 'set_vector'
+    entities_touched: tuple[int, ...]
+    entities_reindexed: tuple[int, ...]
+    old_points: tuple[np.ndarray, ...] = ()
+    new_points: tuple[np.ndarray, ...] = ()
 
 
 class OnlineUpdater:
@@ -65,6 +85,21 @@ class OnlineUpdater:
         self.reindex_tolerance = reindex_tolerance
         self.max_local_triples = max_local_triples
         self._rng = ensure_rng(seed)
+        self._listeners: list = []
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register a callable invoked with an :class:`UpdateEvent` after
+        every update (used by the serving layer's result cache)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, event: UpdateEvent) -> None:
+        for listener in list(self._listeners):
+            listener(event)
 
     # -- edge updates ---------------------------------------------------------
 
@@ -72,14 +107,14 @@ class OnlineUpdater:
         """Add a fact to ``E`` and locally refresh embedding + index."""
         graph = self.engine.graph
         graph.add_triple(head, relation, tail)
-        return self._local_refresh((head, tail))
+        return self._local_refresh((head, tail), kind="add_edge")
 
     def remove_edge(self, head: int, relation: int, tail: int) -> UpdateReport:
         """Remove a fact from ``E`` and locally refresh embedding + index."""
         graph = self.engine.graph
         if not graph.remove_triple(head, relation, tail):
             raise QueryError("edge not present in the graph")
-        return self._local_refresh((head, tail))
+        return self._local_refresh((head, tail), kind="remove_edge")
 
     def add_entity(self, name: str, near: int | None = None) -> int:
         """Register a brand-new entity and index its point.
@@ -104,6 +139,14 @@ class OnlineUpdater:
         point = self.engine.transform(vector)
         self.engine.index.store.append(point)
         self.engine.index.insert(entity)
+        self._notify(
+            UpdateEvent(
+                kind="add_entity",
+                entities_touched=(entity,),
+                entities_reindexed=(entity,),
+                new_points=(np.asarray(point, dtype=np.float64),),
+            )
+        )
         return entity
 
     def set_entity_vector(self, entity: int, vector: np.ndarray) -> UpdateReport:
@@ -112,7 +155,16 @@ class OnlineUpdater:
         before = vectors[entity].copy()
         self._write_entity_vector(entity, np.asarray(vector, dtype=np.float64))
         displacement = float(np.linalg.norm(vectors[entity] - before))
-        self._reindex([entity])
+        old_points, new_points = self._reindex([entity])
+        self._notify(
+            UpdateEvent(
+                kind="set_vector",
+                entities_touched=(entity,),
+                entities_reindexed=(entity,),
+                old_points=old_points,
+                new_points=new_points,
+            )
+        )
         return UpdateReport(
             entities_touched=(entity,),
             entities_reindexed=(entity,),
@@ -122,15 +174,24 @@ class OnlineUpdater:
 
     # -- internals ----------------------------------------------------------------
 
-    def _local_refresh(self, touched: tuple[int, ...]) -> UpdateReport:
+    def _local_refresh(
+        self, touched: tuple[int, ...], kind: str = "add_edge"
+    ) -> UpdateReport:
         model = self.engine.model
         if not hasattr(model, "sgd_step"):
             # Frozen model: nothing to retrain; the graph change alone
-            # already updates the E'-exclusion semantics.
+            # already updates the E'-exclusion semantics — which still
+            # invalidates cached results keyed on the touched entities.
+            self._notify(
+                UpdateEvent(kind=kind, entities_touched=touched, entities_reindexed=())
+            )
             return UpdateReport(entities_touched=touched)
         graph = self.engine.graph
         local = self._incident_triples(graph, touched)
         if len(local) == 0:
+            self._notify(
+                UpdateEvent(kind=kind, entities_touched=touched, entities_reindexed=())
+            )
             return UpdateReport(entities_touched=touched)
         vectors = model.entity_vectors()
         local_entities = self._entities_of(local)
@@ -157,7 +218,16 @@ class OnlineUpdater:
             max_displacement = max(max_displacement, displacement)
             if displacement > self.reindex_tolerance:
                 moved.append(entity)
-        self._reindex(moved)
+        old_points, new_points = self._reindex(moved)
+        self._notify(
+            UpdateEvent(
+                kind=kind,
+                entities_touched=touched,
+                entities_reindexed=tuple(moved),
+                old_points=old_points,
+                new_points=new_points,
+            )
+        )
         return UpdateReport(
             entities_touched=touched,
             entities_reindexed=tuple(moved),
@@ -190,14 +260,25 @@ class OnlineUpdater:
     def _entities_of(triples: np.ndarray) -> set[int]:
         return set(triples[:, 0].tolist()) | set(triples[:, 2].tolist())
 
-    def _reindex(self, entities: list[int]) -> None:
-        """Delete / re-project / re-insert the moved entities' points."""
+    def _reindex(
+        self, entities: list[int]
+    ) -> tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
+        """Delete / re-project / re-insert the moved entities' points.
+
+        Returns the (old, new) S2 coordinates of each moved entity so
+        listeners can do geometric cache invalidation.
+        """
         index = self.engine.index
         vectors = self.engine.model.entity_vectors()
+        old_points = []
+        new_points = []
         for entity in entities:
+            old_points.append(index.store.coords[entity].copy())
             index.delete(entity)
             index.store.update_row(entity, self.engine.transform(vectors[entity]))
             index.insert(entity)
+            new_points.append(index.store.coords[entity].copy())
+        return tuple(old_points), tuple(new_points)
 
     def _append_entity_vector(self, entity: int, vector: np.ndarray) -> None:
         model = self.engine.model

@@ -35,3 +35,30 @@ class IndexError_(ReproError):
 
 class QueryError(ReproError):
     """Invalid predictive query (unknown entity, bad parameters, ...)."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service failures (pool, cache, server).
+
+    Distinct from :class:`QueryError` so callers can tell "your query is
+    malformed" apart from "the service cannot take your query right now".
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded request queue is full (backpressure).
+
+    Maps to HTTP 429; :attr:`retry_after` is the suggested wait in
+    seconds before retrying.
+    """
+
+    def __init__(self, message: str = "request queue is full", retry_after: float = 0.1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline elapsed before (or while) it was served.
+
+    Maps to HTTP 504.
+    """

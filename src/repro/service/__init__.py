@@ -1,0 +1,38 @@
+"""The concurrent query service layer.
+
+Wraps a :class:`~repro.query.engine.QueryEngine` for sustained
+multi-client traffic: a bounded engine worker pool with deadlines and
+backpressure (:mod:`~repro.service.pool`), an LRU+TTL top-k result cache
+with update-driven invalidation (:mod:`~repro.service.cache`), serving
+metrics (:mod:`~repro.service.metrics`), a programmatic façade plus JSON
+HTTP API (:mod:`~repro.service.server`), and a workload replay driver
+(:mod:`~repro.service.replay`). See ``docs/serving.md``.
+"""
+
+from repro.service.cache import CacheStats, QueryKey, ResultCache
+from repro.service.metrics import LatencyHistogram, ServingMetrics
+from repro.service.pool import EnginePool
+from repro.service.replay import ReplayReport, replay
+from repro.service.server import (
+    QueryService,
+    ServiceResult,
+    make_server,
+    serve_forever,
+    start_in_thread,
+)
+
+__all__ = [
+    "CacheStats",
+    "EnginePool",
+    "LatencyHistogram",
+    "QueryKey",
+    "QueryService",
+    "ReplayReport",
+    "ResultCache",
+    "ServiceResult",
+    "ServingMetrics",
+    "make_server",
+    "replay",
+    "serve_forever",
+    "start_in_thread",
+]

@@ -1,0 +1,208 @@
+"""LRU + TTL top-k result cache with update-driven invalidation.
+
+Serving traffic over a knowledge graph is heavily repeated (the paper's
+observation that "the space of queried embedding vectors is skewed"), so
+identical ``(entity, relation, direction, k)`` queries recur constantly.
+The cache answers them without touching the engine.
+
+Invalidation has to respect the *dynamic* side of the system: a graph
+update changes answers in two ways, and the cache handles both when
+wired to :class:`repro.dynamic.updater.OnlineUpdater` via
+:meth:`ResultCache.handle_update`:
+
+1. **Exclusion semantics** — adding/removing an edge incident to entity
+   ``e`` changes the E'-exclusion set of queries *keyed on* ``e``, so
+   every entry whose key entity was touched is evicted.
+2. **Geometry** — an entity whose embedding moved can enter or leave the
+   S2 query region of *any* cached query. Each entry remembers its final
+   query region (``TopKResult.query_region``); entries whose region
+   contains the moved entity's old or new S2 point are evicted, as are
+   entries whose result set contains a moved entity. Entries with no
+   recorded region are evicted conservatively.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import RLock
+from typing import Callable, Iterable, NamedTuple
+
+import numpy as np
+
+from repro.query.topk import TopKResult
+
+
+class QueryKey(NamedTuple):
+    """Cache key of one top-k query."""
+
+    entity: int
+    relation: int
+    direction: str  # 'tail' | 'head'
+    k: int
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`ResultCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    __slots__ = ("result", "expires_at")
+
+    def __init__(self, result: TopKResult, expires_at: float | None) -> None:
+        self.result = result
+        self.expires_at = expires_at
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache of :class:`TopKResult` objects.
+
+    ``ttl_seconds=None`` disables expiry; ``clock`` is injectable for
+    deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[QueryKey, _Entry] = OrderedDict()
+        self._lock = RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- core LRU operations ----------------------------------------------
+
+    def get(self, key: QueryKey) -> TopKResult | None:
+        """The cached result for ``key``, or None on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.expires_at is not None and self._clock() >= entry.expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.result
+
+    def put(self, key: QueryKey, result: TopKResult) -> None:
+        """Insert/refresh ``key``; evicts the LRU entry when full."""
+        expires_at = (
+            self._clock() + self.ttl_seconds if self.ttl_seconds is not None else None
+        )
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = _Entry(result, expires_at)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += dropped
+            return dropped
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_entities(self, entities: Iterable[int]) -> int:
+        """Evict entries keyed on — or containing — any of ``entities``."""
+        wanted = set(int(e) for e in entities)
+        if not wanted:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if key.entity in wanted
+                or any(e in wanted for e in entry.result.entities)
+            ]
+            return self._drop(stale)
+
+    def invalidate_points(self, points: Iterable[np.ndarray]) -> int:
+        """Evict entries whose query region contains any of the S2
+        ``points`` (an entity that moved into — or out of — a cached
+        query's region changes that query's answer). Entries without a
+        recorded region are evicted conservatively."""
+        points = [np.asarray(p, dtype=np.float64) for p in points]
+        if not points:
+            return 0
+        with self._lock:
+            stale = []
+            for key, entry in self._entries.items():
+                region = entry.result.query_region
+                if region is None or any(region.contains_point(p) for p in points):
+                    stale.append(key)
+            return self._drop(stale)
+
+    def handle_update(self, event) -> int:
+        """Listener for :class:`repro.dynamic.updater.OnlineUpdater`.
+
+        Combines entity-keyed and geometric invalidation for one
+        :class:`~repro.dynamic.updater.UpdateEvent`; returns the number
+        of entries evicted.
+        """
+        evicted = self.invalidate_entities(
+            set(event.entities_touched) | set(event.entities_reindexed)
+        )
+        evicted += self.invalidate_points(
+            list(event.old_points) + list(event.new_points)
+        )
+        return evicted
+
+    def _drop(self, keys: list[QueryKey]) -> int:
+        for key in keys:
+            del self._entries[key]
+        self._invalidations += len(keys)
+        return len(keys)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

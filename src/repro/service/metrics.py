@@ -1,0 +1,211 @@
+"""Serving metrics: latency histograms, counters, and a text report.
+
+Everything here is stdlib + numpy-free on the hot path: recording a
+latency is one bisect into a fixed geometric bucket ladder under a lock.
+Percentiles are estimated by linear interpolation inside the winning
+bucket — the standard Prometheus-style histogram_quantile estimate,
+plenty for p50/p95/p99 serving dashboards.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from threading import RLock
+from typing import Callable
+
+
+def _default_bounds() -> tuple[float, ...]:
+    # 100 µs .. ~52 s in ×1.5 steps (33 finite buckets + overflow).
+    bounds = []
+    upper = 1e-4
+    for _ in range(33):
+        bounds.append(upper)
+        upper *= 1.5
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with quantile estimates."""
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        self.bounds = tuple(bounds) if bounds is not None else _default_bounds()
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("bounds must be a non-empty increasing sequence")
+        # counts[i] counts observations <= bounds[i]; the last slot is overflow.
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = RLock()
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            self._counts[bisect_left(self.bounds, seconds)] += 1
+            self._count += 1
+            self._sum += seconds
+            self._min = min(self._min, seconds)
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            seen = 0
+            for i, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank and count > 0:
+                    if i >= len(self.bounds):  # overflow bucket
+                        return self._max
+                    lower = self.bounds[i - 1] if i > 0 else 0.0
+                    upper = self.bounds[i]
+                    within = (rank - (seen - count)) / count
+                    estimate = lower + within * (upper - lower)
+                    return min(max(estimate, self._min), self._max)
+            return self._max
+
+    def percentiles(self) -> dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            nonzero = {
+                (f"{self.bounds[i]:.6g}" if i < len(self.bounds) else "+Inf"): c
+                for i, c in enumerate(self._counts)
+                if c > 0
+            }
+            return {
+                "count": self._count,
+                "sum_seconds": self._sum,
+                "min_seconds": self._min if self._count else 0.0,
+                "max_seconds": self._max,
+                "mean_seconds": self._sum / self._count if self._count else 0.0,
+                "buckets": nonzero,
+                **self.percentiles(),
+            }
+
+
+class ServingMetrics:
+    """All counters and histograms of one :class:`QueryService`.
+
+    ``queue_depth`` and ``cache_stats`` are pull-style callables wired in
+    by the service so the snapshot always reflects live state.
+    """
+
+    def __init__(
+        self,
+        queue_depth: Callable[[], int] | None = None,
+        cache_stats: Callable[[], object] | None = None,
+    ) -> None:
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self._queue_depth = queue_depth
+        self._cache_stats = cache_stats
+        self._lock = RLock()
+        self._counters = {
+            "requests": 0,
+            "errors": 0,
+            "rejected": 0,
+            "deadline_exceeded": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "splits_triggered": 0,
+            "points_examined": 0,
+            "invalidations": 0,
+        }
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def record_request(
+        self,
+        elapsed_seconds: float,
+        cache_hit: bool = False,
+        explain=None,
+    ) -> None:
+        """Account one completed request; ``explain`` (a
+        :class:`~repro.query.engine.QueryExplain`) feeds the index-side
+        counters on cache misses."""
+        self.latency.record(elapsed_seconds)
+        with self._lock:
+            self._counters["requests"] += 1
+            if cache_hit:
+                self._counters["cache_hits"] += 1
+            else:
+                self._counters["cache_misses"] += 1
+            if explain is not None:
+                self._counters["splits_triggered"] += explain.splits_triggered
+                self._counters["points_examined"] += explain.points_examined
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self.queue_wait.record(seconds)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            hits = self._counters["cache_hits"]
+            total = hits + self._counters["cache_misses"]
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view of everything (the ``/metrics`` body)."""
+        with self._lock:
+            counters = dict(self._counters)
+        snap = {
+            "counters": counters,
+            "cache_hit_rate": self.cache_hit_rate,
+            "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+        }
+        if self._queue_depth is not None:
+            snap["queue_depth"] = int(self._queue_depth())
+        if self._cache_stats is not None:
+            stats = self._cache_stats()
+            snap["cache"] = {
+                "size": stats.size,
+                "capacity": stats.capacity,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "expirations": stats.expirations,
+                "invalidations": stats.invalidations,
+                "hit_rate": stats.hit_rate,
+            }
+        return snap
+
+    def report(self) -> str:
+        """A plain-text, human-first account of the snapshot."""
+        snap = self.snapshot()
+        counters = snap["counters"]
+        lines = ["serving metrics", "---------------"]
+        for name in sorted(counters):
+            lines.append(f"{name:<20} {counters[name]}")
+        if "queue_depth" in snap:
+            lines.append(f"{'queue_depth':<20} {snap['queue_depth']}")
+        lines.append(f"{'cache_hit_rate':<20} {snap['cache_hit_rate']:.3f}")
+        for label, hist in (("latency", snap["latency"]), ("queue_wait", snap["queue_wait"])):
+            lines.append(
+                f"{label:<11} n={hist['count']} mean={hist['mean_seconds'] * 1e3:.2f}ms "
+                f"p50={hist['p50'] * 1e3:.2f}ms p95={hist['p95'] * 1e3:.2f}ms "
+                f"p99={hist['p99'] * 1e3:.2f}ms max={hist['max_seconds'] * 1e3:.2f}ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""A bounded worker pool of query-engine replicas.
+
+The cracking R-tree *mutates on reads* (that is the paper's whole
+point), so an engine is never safe to share between two in-flight
+queries. The pool therefore separates the two axes of concurrency:
+
+- ``workers`` threads pull requests off one bounded queue (they absorb
+  bursts, enforce deadlines, and let callers overlap waiting);
+- ``engines`` are checked out of an inner free-list for the duration of
+  one query, so each engine only ever runs one query at a time.
+
+With one engine, queries serialize onto it — safe, and precisely the
+online-index regime, since every query cracks the *same* tree. With N
+replica engines, queries shard across them (each replica cracks
+independently toward its own workload-adapted shape).
+
+Backpressure: when the request queue is full, :meth:`EnginePool.submit`
+raises :class:`~repro.errors.QueueFullError` immediately with a
+``retry_after`` hint derived from the observed service rate, instead of
+letting latency grow without bound.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
+
+
+@dataclass
+class _Request:
+    fn: Callable
+    future: Future
+    deadline: float | None
+    enqueued_at: float
+    on_wait: Callable[[float], None] | None = field(default=None)
+
+
+class EnginePool:
+    """Runs callables against a fleet of single-threaded engines.
+
+    ``engines`` is one engine or a sequence of replicas. ``fn`` passed to
+    :meth:`submit` receives the checked-out engine as its only argument.
+    """
+
+    def __init__(
+        self,
+        engines,
+        workers: int = 4,
+        max_queue: int = 64,
+        on_queue_wait: Callable[[float], None] | None = None,
+    ) -> None:
+        if not isinstance(engines, (list, tuple)):
+            engines = [engines]
+        if not engines:
+            raise ServiceError("the pool needs at least one engine")
+        if workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if max_queue < 1:
+            raise ServiceError("max_queue must be >= 1")
+        self.num_engines = len(engines)
+        self.num_workers = workers
+        self._engines: queue.SimpleQueue = queue.SimpleQueue()
+        for engine in engines:
+            self._engines.put(engine)
+        self._requests: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._on_queue_wait = on_queue_wait
+        self._closed = False
+        self._lock = threading.Lock()
+        # EMA of per-request service time, for the retry_after hint.
+        self._ema_seconds = 0.005
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-pool-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting (approximate, by design)."""
+        return self._requests.qsize()
+
+    def submit(self, fn: Callable, timeout: float | None = None) -> Future:
+        """Enqueue ``fn(engine)``; returns a Future.
+
+        Raises :class:`QueueFullError` when the queue is at capacity and
+        :class:`ServiceError` after :meth:`shutdown`. ``timeout`` is a
+        deadline from *now*: a request still queued when it expires fails
+        with :class:`DeadlineExceededError` (running requests are not
+        interrupted mid-query).
+        """
+        if self._closed:
+            raise ServiceError("pool is shut down")
+        now = time.monotonic()
+        deadline = now + timeout if timeout is not None else None
+        future: Future = Future()
+        request = _Request(fn, future, deadline, now, self._on_queue_wait)
+        try:
+            self._requests.put_nowait(request)
+        except queue.Full:
+            raise QueueFullError(retry_after=self.retry_after_hint()) from None
+        return future
+
+    def execute(self, fn: Callable, timeout: float | None = None):
+        """Submit and wait; propagates the callable's result/exception."""
+        future = self.submit(fn, timeout=timeout)
+        # The worker resolves the deadline; an extra slack on the outer
+        # wait guards against a wedged engine without busy-looping.
+        outer = None if timeout is None else timeout + 60.0
+        return future.result(timeout=outer)
+
+    def retry_after_hint(self) -> float:
+        """Suggested client back-off: time to drain the current queue."""
+        with self._lock:
+            ema = self._ema_seconds
+        depth = max(1, self.queue_depth)
+        return max(0.01, depth * ema / max(1, min(self.num_workers, self.num_engines)))
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._requests.get()
+            if request is None:  # shutdown sentinel
+                return
+            now = time.monotonic()
+            if request.on_wait is not None:
+                request.on_wait(now - request.enqueued_at)
+            if not request.future.set_running_or_notify_cancel():
+                continue
+            if request.deadline is not None and now >= request.deadline:
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline exceeded after {now - request.enqueued_at:.3f}s in queue"
+                    )
+                )
+                continue
+            engine = self._engines.get()
+            start = time.monotonic()
+            try:
+                result = request.fn(engine)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result(result)
+            finally:
+                self._engines.put(engine)
+                elapsed = time.monotonic() - start
+                with self._lock:
+                    self._ema_seconds += 0.2 * (elapsed - self._ema_seconds)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drains queued requests first."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._requests.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,166 @@
+"""Workload replay: fire a query stream at a :class:`QueryService`.
+
+This is the serving benchmark the single-threaded figure runners cannot
+provide: ``replay`` drives a :mod:`repro.bench.workloads` query stream
+from N client threads at an optional target QPS (open-loop pacing
+against a shared schedule) and reports throughput, exact latency
+percentiles, backpressure counts, and the cache hit rate.
+
+Results are collected *in input order*, so a replay can be compared
+element-wise against a sequential no-service baseline — the correctness
+check that concurrent serving of a mutating (cracking) index preserves
+answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlineExceededError, QueueFullError, ReproError
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    total: int
+    completed: int
+    rejected: int  # QueueFullError occurrences (before any retry)
+    deadline_exceeded: int
+    errors: int
+    cache_hits: int
+    elapsed_seconds: float
+    latencies_seconds: list[float] = field(repr=False)
+    results: list = field(repr=False)  # TopKResult | None, input order
+    target_qps: float | None = None
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / self.elapsed_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact latency quantile in seconds over completed requests."""
+        if not self.latencies_seconds:
+            return 0.0
+        ordered = sorted(self.latencies_seconds)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    def summary(self) -> str:
+        return (
+            f"replayed {self.completed}/{self.total} queries in "
+            f"{self.elapsed_seconds:.2f}s ({self.throughput_qps:.0f} qps): "
+            f"p50={self.percentile(0.50) * 1e3:.2f}ms "
+            f"p95={self.percentile(0.95) * 1e3:.2f}ms "
+            f"p99={self.percentile(0.99) * 1e3:.2f}ms, "
+            f"cache hit rate {self.cache_hit_rate:.1%}, "
+            f"{self.rejected} rejections, {self.deadline_exceeded} deadline misses, "
+            f"{self.errors} errors"
+        )
+
+
+def replay(
+    service,
+    queries,
+    k: int = 10,
+    threads: int = 4,
+    target_qps: float | None = None,
+    timeout: float | None = None,
+    retry_rejected: bool = True,
+    on_progress=None,
+) -> ReplayReport:
+    """Replay ``queries`` (objects with entity/relation/direction, e.g.
+    :class:`repro.bench.workloads.Query`) against ``service``.
+
+    ``target_qps`` paces submissions open-loop: query ``i`` is released
+    at ``start + i / target_qps`` regardless of how long earlier queries
+    took (``None`` = closed loop, as fast as the clients can go).
+    ``retry_rejected`` honours the backpressure protocol by sleeping the
+    server-suggested ``retry_after`` and retrying; rejections are still
+    counted. ``on_progress`` is called with each query's input position
+    after it completes (used to inject mid-replay updates in tests).
+    """
+    queries = list(queries)
+    total = len(queries)
+    results: list = [None] * total
+    latencies: list[float | None] = [None] * total
+    counters = {"completed": 0, "rejected": 0, "deadline": 0, "errors": 0, "hits": 0}
+    next_index = [0]
+    lock = threading.Lock()
+    start = time.monotonic()
+
+    def run_one(position: int) -> None:
+        query = queries[position]
+        while True:
+            try:
+                detail = service.topk_detail(
+                    query.entity, query.relation, k, query.direction, timeout=timeout
+                )
+            except QueueFullError as exc:
+                with lock:
+                    counters["rejected"] += 1
+                if not retry_rejected:
+                    return
+                time.sleep(exc.retry_after)
+                continue
+            except DeadlineExceededError:
+                with lock:
+                    counters["deadline"] += 1
+                return
+            except ReproError:
+                with lock:
+                    counters["errors"] += 1
+                return
+            results[position] = detail.result
+            latencies[position] = detail.elapsed_seconds
+            with lock:
+                counters["completed"] += 1
+                if detail.cached:
+                    counters["hits"] += 1
+            return
+
+    def client_loop() -> None:
+        while True:
+            with lock:
+                position = next_index[0]
+                if position >= total:
+                    return
+                next_index[0] = position + 1
+            if target_qps is not None:
+                release_at = start + position / target_qps
+                delay = release_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            run_one(position)
+            if on_progress is not None:
+                on_progress(position)
+
+    workers = [
+        threading.Thread(target=client_loop, name=f"replay-{i}", daemon=True)
+        for i in range(max(1, threads))
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.monotonic() - start
+    return ReplayReport(
+        total=total,
+        completed=counters["completed"],
+        rejected=counters["rejected"],
+        deadline_exceeded=counters["deadline"],
+        errors=counters["errors"],
+        cache_hits=counters["hits"],
+        elapsed_seconds=elapsed,
+        latencies_seconds=[lat for lat in latencies if lat is not None],
+        results=results,
+        target_qps=target_qps,
+    )

@@ -1,0 +1,427 @@
+"""The query service façade and its stdlib HTTP front-end.
+
+:class:`QueryService` is the programmatic entry point: it owns an
+:class:`~repro.service.pool.EnginePool`, an LRU+TTL
+:class:`~repro.service.cache.ResultCache`, and a
+:class:`~repro.service.metrics.ServingMetrics` registry, and exposes
+``topk`` / ``aggregate`` calls that are safe to hammer from many
+threads. :func:`make_server` wraps a service in a
+``ThreadingHTTPServer`` JSON API:
+
+- ``GET /topk?entity=..&relation=..&k=..&direction=..``
+- ``GET /aggregate?entity=..&relation=..&kind=..&attribute=..``
+- ``GET /metrics`` (plain text; ``?format=json`` for the snapshot)
+- ``GET /healthz``
+
+Service errors map onto status codes: queue full → 429 (with a
+``Retry-After`` header), deadline exceeded → 504, bad query → 400.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
+from repro.query.engine import QueryEngine
+from repro.query.topk import TopKResult
+from repro.service.cache import QueryKey, ResultCache
+from repro.service.metrics import ServingMetrics
+from repro.service.pool import EnginePool
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One served top-k answer plus its serving-side provenance."""
+
+    result: TopKResult
+    cached: bool
+    elapsed_seconds: float
+
+
+class QueryService:
+    """Concurrent serving façade over one or more :class:`QueryEngine`.
+
+    Pass a single engine to serialize all queries onto one cracking
+    index (the online-index regime), or a list of replicas to shard
+    across them. The service attaches its cache to the *first* engine as
+    ``engine.result_cache`` so :func:`repro.query.batch.run_batch` can
+    route through it.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine | list[QueryEngine],
+        workers: int = 4,
+        max_queue: int = 128,
+        cache_capacity: int = 2048,
+        cache_ttl: float | None = None,
+        default_timeout: float | None = None,
+    ) -> None:
+        engines = engine if isinstance(engine, (list, tuple)) else [engine]
+        self.engine = engines[0]
+        self.default_timeout = default_timeout
+        self.cache = ResultCache(capacity=cache_capacity, ttl_seconds=cache_ttl)
+        self.metrics = ServingMetrics(
+            queue_depth=lambda: self.pool.queue_depth,
+            cache_stats=self.cache.stats,
+        )
+        self.pool = EnginePool(
+            list(engines),
+            workers=workers,
+            max_queue=max_queue,
+            on_queue_wait=self.metrics.record_queue_wait,
+        )
+        self.engine.result_cache = self.cache
+        self._closed = False
+
+    # -- dynamic updates ---------------------------------------------------
+
+    def attach_updater(self, updater) -> None:
+        """Wire an :class:`~repro.dynamic.updater.OnlineUpdater` so its
+        updates invalidate this service's cache."""
+        updater.add_listener(self._on_update)
+
+    def _on_update(self, event) -> None:
+        evicted = self.cache.handle_update(event)
+        self.metrics.increment("invalidations", evicted)
+
+    # -- queries -----------------------------------------------------------
+
+    def topk(
+        self,
+        entity: int | str,
+        relation: int | str,
+        k: int = 10,
+        direction: str = "tail",
+        timeout: float | None = None,
+        entity_type: str | None = None,
+    ) -> TopKResult:
+        """Serve one top-k query (cache → pool → engine)."""
+        return self.topk_detail(
+            entity, relation, k, direction, timeout=timeout, entity_type=entity_type
+        ).result
+
+    def topk_detail(
+        self,
+        entity: int | str,
+        relation: int | str,
+        k: int = 10,
+        direction: str = "tail",
+        timeout: float | None = None,
+        entity_type: str | None = None,
+    ) -> ServiceResult:
+        """Like :meth:`topk` but also reports cache provenance."""
+        entity = self._entity_id(entity)
+        relation = self._relation_id(relation)
+        start = time.perf_counter()
+        # Typed queries are a different result space; only the untyped
+        # form is cached.
+        key = (
+            QueryKey(entity, relation, direction, k) if entity_type is None else None
+        )
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                elapsed = time.perf_counter() - start
+                self.metrics.record_request(elapsed, cache_hit=True)
+                return ServiceResult(cached, True, elapsed)
+        timeout = timeout if timeout is not None else self.default_timeout
+        try:
+            if entity_type is None:
+                explain = self.pool.execute(
+                    lambda engine: engine.explain_topk(entity, relation, k, direction),
+                    timeout=timeout,
+                )
+                result = explain.result
+            else:
+                explain = None
+                result = self.pool.execute(
+                    lambda engine: (
+                        engine.topk_tails(entity, relation, k, entity_type)
+                        if direction == "tail"
+                        else engine.topk_heads(entity, relation, k, entity_type)
+                    ),
+                    timeout=timeout,
+                )
+        except QueueFullError:
+            self.metrics.increment("rejected")
+            raise
+        except DeadlineExceededError:
+            self.metrics.increment("deadline_exceeded")
+            raise
+        except ReproError:
+            self.metrics.increment("errors")
+            raise
+        if key is not None:
+            self.cache.put(key, result)
+        elapsed = time.perf_counter() - start
+        self.metrics.record_request(elapsed, cache_hit=False, explain=explain)
+        return ServiceResult(result, False, elapsed)
+
+    def aggregate(
+        self,
+        entity: int | str,
+        relation: int | str,
+        kind: str,
+        attribute: str | None = None,
+        direction: str = "tail",
+        timeout: float | None = None,
+        **kwargs,
+    ):
+        """Serve one aggregate query (never cached: the estimate depends
+        on continuous knobs like ``p_tau`` and ``access_fraction``)."""
+        entity = self._entity_id(entity)
+        relation = self._relation_id(relation)
+        timeout = timeout if timeout is not None else self.default_timeout
+        start = time.perf_counter()
+        try:
+            estimate = self.pool.execute(
+                lambda engine: (
+                    engine.aggregate_tails(entity, relation, kind, attribute, **kwargs)
+                    if direction == "tail"
+                    else engine.aggregate_heads(
+                        entity, relation, kind, attribute, **kwargs
+                    )
+                ),
+                timeout=timeout,
+            )
+        except QueueFullError:
+            self.metrics.increment("rejected")
+            raise
+        except DeadlineExceededError:
+            self.metrics.increment("deadline_exceeded")
+            raise
+        except ReproError:
+            self.metrics.increment("errors")
+            raise
+        self.metrics.record_request(time.perf_counter() - start, cache_hit=False)
+        return estimate
+
+    # -- name resolution ---------------------------------------------------
+
+    def _entity_id(self, value: int | str) -> int:
+        if isinstance(value, str):
+            return self.engine.graph.entities.id_of(value)
+        return int(value)
+
+    def _relation_id(self, value: int | str) -> int:
+        if isinstance(value, str):
+            return self.engine.graph.relations.id_of(value)
+        return int(value)
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def healthy(self) -> bool:
+        return not self._closed
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.pool.shutdown()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- HTTP layer ------------------------------------------------------------
+
+
+def _status_of(exc: Exception) -> int:
+    if isinstance(exc, QueueFullError):
+        return 429
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, ServiceError):
+        return 503
+    if isinstance(exc, ReproError) or isinstance(exc, (KeyError, ValueError)):
+        return 400
+    return 500
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test output and servers quiet
+
+    def _send(self, status: int, body: bytes, content_type: str, headers=()):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict, headers=()):
+        body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json", headers)
+
+    def _send_error_json(self, exc: Exception):
+        status = _status_of(exc)
+        headers = []
+        if isinstance(exc, QueueFullError):
+            headers.append(("Retry-After", f"{exc.retry_after:.3f}"))
+        self._send_json(
+            status, {"error": type(exc).__name__, "detail": str(exc)}, headers
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            if url.path == "/topk":
+                self._handle_topk(params)
+            elif url.path == "/aggregate":
+                self._handle_aggregate(params)
+            elif url.path == "/metrics":
+                self._handle_metrics(params)
+            elif url.path == "/healthz":
+                service = self.server.service
+                self._send_json(
+                    200 if service.healthy() else 503,
+                    {
+                        "status": "ok" if service.healthy() else "closed",
+                        "queue_depth": service.pool.queue_depth,
+                    },
+                )
+            else:
+                self._send_json(404, {"error": "NotFound", "detail": url.path})
+        except Exception as exc:  # noqa: BLE001 - mapped to a status code
+            self._send_error_json(exc)
+
+    # -- endpoints ---------------------------------------------------------
+
+    @staticmethod
+    def _ref(value: str) -> int | str:
+        """Entity/relation params accept either a numeric id or a name."""
+        return int(value) if value.lstrip("-").isdigit() else value
+
+    def _handle_topk(self, params: dict[str, str]) -> None:
+        if "entity" not in params or "relation" not in params:
+            raise ValueError("entity and relation parameters are required")
+        service = self.server.service
+        detail = service.topk_detail(
+            self._ref(params["entity"]),
+            self._ref(params["relation"]),
+            k=int(params.get("k", "10")),
+            direction=params.get("direction", "tail"),
+            timeout=float(params["timeout"]) if "timeout" in params else None,
+            entity_type=params.get("type"),
+        )
+        result = detail.result
+        graph = service.engine.graph
+        probabilities = service.engine.probabilities(result)
+        self._send_json(
+            200,
+            {
+                "entities": list(result.entities),
+                "names": [graph.entities.name_of(e) for e in result.entities],
+                "distances": list(result.distances),
+                "probabilities": list(probabilities),
+                "cached": detail.cached,
+                "elapsed_seconds": detail.elapsed_seconds,
+            },
+        )
+
+    def _handle_aggregate(self, params: dict[str, str]) -> None:
+        for required in ("entity", "relation", "kind"):
+            if required not in params:
+                raise ValueError(f"{required} parameter is required")
+        service = self.server.service
+        kwargs = {}
+        if "p_tau" in params:
+            kwargs["p_tau"] = float(params["p_tau"])
+        if "access_fraction" in params:
+            kwargs["access_fraction"] = float(params["access_fraction"])
+        estimate = service.aggregate(
+            self._ref(params["entity"]),
+            self._ref(params["relation"]),
+            params["kind"],
+            attribute=params.get("attribute"),
+            direction=params.get("direction", "tail"),
+            timeout=float(params["timeout"]) if "timeout" in params else None,
+            **kwargs,
+        )
+        self._send_json(
+            200,
+            {
+                "kind": estimate.kind,
+                "value": float(estimate.value),
+                "accessed": int(estimate.accessed),
+                "ball_size": int(estimate.ball_size),
+                "p_tau": float(estimate.p_tau),
+            },
+        )
+
+    def _handle_metrics(self, params: dict[str, str]) -> None:
+        metrics = self.server.service.metrics
+        if params.get("format") == "json":
+            self._send_json(200, metrics.snapshot())
+        else:
+            self._send(200, metrics.report().encode("utf-8"), "text/plain")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8080
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP front-end; ``port=0`` picks a
+    free port (see ``server.server_address``)."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve_forever(service: QueryService, host: str = "127.0.0.1", port: int = 8080):
+    """Blocking entry point used by ``python -m repro serve``."""
+    server = make_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port} "
+          f"(endpoints: /topk /aggregate /metrics /healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return server
+
+
+def start_in_thread(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ServiceHTTPServer, threading.Thread]:
+    """Start the HTTP server on a daemon thread (tests, notebooks)."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,7 +1,7 @@
 """Tests for CSV export of figure data."""
 
 import csv
-from dataclasses import dataclass
+
 
 from repro.bench.export import rows_to_csv
 from repro.bench.runners import AggregateRow, MethodTiming

@@ -1,6 +1,5 @@
 """Tiny-scale smoke tests for the scalability and extension runners."""
 
-import pytest
 
 from repro.bench.extensions import (
     run_dynamic_updates,

@@ -6,7 +6,7 @@ import pytest
 from repro.index.bulkload import BulkLoadedRTree
 from repro.index.cracking import CrackingRTree
 from repro.index.geometry import Rect
-from repro.index.node import FrontierEntry, InternalNode, LeafNode
+from repro.index.node import InternalNode, LeafNode
 from repro.index.store import PointStore
 
 

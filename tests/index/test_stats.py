@@ -1,6 +1,5 @@
 """Tests for index statistics and counters."""
 
-import numpy as np
 
 from repro.index.stats import AccessCounters, IndexStats, StatsAccumulator
 

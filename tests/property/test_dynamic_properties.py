@@ -10,7 +10,7 @@ from hypothesis.extra.numpy import arrays
 from repro.index.cracking import CrackingRTree
 from repro.index.geometry import Rect
 from repro.index.store import PointStore
-from repro.index.validation import check_invariants
+
 
 DIM = 3
 

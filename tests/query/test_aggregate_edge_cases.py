@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import QueryError
-from repro.query.aggregates import AggregateProcessor
+
 
 
 def test_aggregate_with_attribute_nobody_has(engine, dataset):

@@ -8,7 +8,7 @@ the estimator formulas are checked against values computed by hand.
 import numpy as np
 import pytest
 
-from repro.query.aggregates import AggregateProcessor, _expected_max
+from repro.query.aggregates import _expected_max
 
 
 @pytest.fixture

@@ -1,0 +1,48 @@
+"""Shared fixtures for the serving-layer tests.
+
+Same deterministic MovieLens-like world as the query tests, plus an
+engine *factory* that rebuilds graph + model + engine from scratch on
+every call: a test can build the identical engine twice — once behind
+the service, once as the sequential ground-truth baseline — and
+update tests can mutate their copy without leaking across tests.
+"""
+
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.kg.generators import movielens_like
+from repro.query.engine import EngineConfig, QueryEngine
+
+
+def _world():
+    return movielens_like(
+        num_users=120,
+        num_movies=260,
+        num_genres=8,
+        num_tags=24,
+        num_ratings=2400,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """Read-only copy of the world (vocab lookups, workload sampling)."""
+    return _world()
+
+
+@pytest.fixture
+def make_engine():
+    def factory(index: str = "cracking") -> QueryEngine:
+        graph, world = _world()
+        model = PretrainedEmbedding.from_world(graph, world, dim=32, seed=0)
+        return QueryEngine.from_graph(
+            graph, EngineConfig(index=index, epsilon=0.5), model=model
+        )
+
+    return factory
+
+
+@pytest.fixture
+def engine(make_engine):
+    return make_engine()

@@ -1,0 +1,50 @@
+"""run_batch routing through an attached result cache."""
+
+from repro.query.batch import BatchQuery, run_batch
+from repro.service.cache import ResultCache
+
+
+def _queries(dataset, n=6):
+    graph, world = dataset
+    likes = graph.relations.id_of("likes")
+    users = world.members("user")[:n]
+    return [BatchQuery(u, likes, "tail") for u in users]
+
+
+def test_batch_without_cache_reports_zero_hits(engine, dataset):
+    report = run_batch(engine, _queries(dataset), k=4)
+    assert report.cache_hits == 0
+    assert report.unique_executed == len(_queries(dataset))
+
+
+def test_batch_populates_and_then_hits_the_cache(engine, dataset):
+    engine.result_cache = ResultCache(capacity=64)
+    queries = _queries(dataset)
+    cold = run_batch(engine, queries, k=4)
+    assert cold.cache_hits == 0
+    assert cold.unique_executed == len(queries)
+
+    warm = run_batch(engine, queries, k=4)
+    assert warm.cache_hits == len(queries)
+    assert warm.unique_executed == 0
+    assert warm.points_examined == 0  # nothing touched the index
+    for before, after in zip(cold.results, warm.results):
+        assert after.entities == before.entities
+
+
+def test_batch_cache_respects_k_and_direction(engine, dataset):
+    engine.result_cache = ResultCache(capacity=64)
+    queries = _queries(dataset, n=3)
+    run_batch(engine, queries, k=4)
+    different_k = run_batch(engine, queries, k=5)
+    assert different_k.cache_hits == 0
+    assert all(len(result) == 5 for result in different_k.results)
+
+
+def test_batch_partial_hits(engine, dataset):
+    engine.result_cache = ResultCache(capacity=64)
+    queries = _queries(dataset, n=6)
+    run_batch(engine, queries[:3], k=4)
+    mixed = run_batch(engine, queries, k=4)
+    assert mixed.cache_hits == 3
+    assert mixed.unique_executed == 3

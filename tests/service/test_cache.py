@@ -1,0 +1,114 @@
+"""Unit tests for the LRU + TTL result cache."""
+
+import numpy as np
+import pytest
+
+from repro.index.geometry import Rect
+from repro.query.topk import TopKResult
+from repro.service.cache import QueryKey, ResultCache
+
+
+def _result(entities=(1, 2), center=(0.0, 0.0), radius=1.0):
+    center = np.asarray(center, dtype=np.float64)
+    return TopKResult(
+        entities=tuple(entities),
+        distances=tuple(0.1 * (i + 1) for i in range(len(entities))),
+        points_examined=len(entities),
+        final_radius=radius,
+        query_region=Rect.ball_box(center, radius),
+    )
+
+
+def _key(entity=0, relation=0, direction="tail", k=5):
+    return QueryKey(entity, relation, direction, k)
+
+
+def test_get_put_roundtrip_and_stats():
+    cache = ResultCache(capacity=4)
+    key = _key()
+    assert cache.get(key) is None
+    result = _result()
+    cache.put(key, result)
+    assert cache.get(key) is result
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_distinct_keys_do_not_collide():
+    cache = ResultCache(capacity=8)
+    cache.put(_key(direction="tail"), _result(entities=(1,)))
+    cache.put(_key(direction="head"), _result(entities=(2,)))
+    cache.put(_key(k=9), _result(entities=(3,)))
+    assert cache.get(_key(direction="tail")).entities == (1,)
+    assert cache.get(_key(direction="head")).entities == (2,)
+    assert cache.get(_key(k=9)).entities == (3,)
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put(_key(entity=1), _result())
+    cache.put(_key(entity=2), _result())
+    cache.get(_key(entity=1))  # 1 is now most recently used
+    cache.put(_key(entity=3), _result())  # evicts 2
+    assert cache.get(_key(entity=2)) is None
+    assert cache.get(_key(entity=1)) is not None
+    assert cache.get(_key(entity=3)) is not None
+    assert cache.stats().evictions == 1
+
+
+def test_ttl_expiry_with_injected_clock():
+    now = [100.0]
+    cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=lambda: now[0])
+    cache.put(_key(), _result())
+    now[0] = 109.9
+    assert cache.get(_key()) is not None
+    now[0] = 110.0
+    assert cache.get(_key()) is None  # expired exactly at ttl
+    assert cache.stats().expirations == 1
+
+
+def test_invalidate_entities_by_key_and_by_result():
+    cache = ResultCache(capacity=8)
+    cache.put(_key(entity=1), _result(entities=(10, 11)))
+    cache.put(_key(entity=2), _result(entities=(20, 21)))
+    cache.put(_key(entity=3), _result(entities=(30, 31)))
+    # entity 1 keys the first entry; entity 21 appears in the second's result.
+    assert cache.invalidate_entities([1, 21]) == 2
+    assert cache.get(_key(entity=1)) is None
+    assert cache.get(_key(entity=2)) is None
+    assert cache.get(_key(entity=3)) is not None
+    assert cache.stats().invalidations == 2
+
+
+def test_invalidate_points_geometric():
+    cache = ResultCache(capacity=8)
+    cache.put(_key(entity=1), _result(center=(0.0, 0.0), radius=1.0))
+    cache.put(_key(entity=2), _result(center=(10.0, 10.0), radius=1.0))
+    # A point inside the first region but far from the second.
+    assert cache.invalidate_points([np.array([0.5, 0.5])]) == 1
+    assert cache.get(_key(entity=1)) is None
+    assert cache.get(_key(entity=2)) is not None
+
+
+def test_invalidate_points_evicts_regionless_entries_conservatively():
+    cache = ResultCache(capacity=8)
+    no_region = TopKResult((1,), (0.1,), 1, 0.5, None)
+    cache.put(_key(entity=1), no_region)
+    assert cache.invalidate_points([np.array([99.0, 99.0])]) == 1
+    assert len(cache) == 0
+
+
+def test_clear():
+    cache = ResultCache(capacity=8)
+    cache.put(_key(entity=1), _result())
+    cache.put(_key(entity=2), _result())
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=0)
+    with pytest.raises(ValueError):
+        ResultCache(ttl_seconds=0.0)

@@ -1,0 +1,74 @@
+"""Unit tests for serving metrics: histogram math and the registry."""
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServingMetrics
+
+
+def test_histogram_empty():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.quantile(0.5) == 0.0
+    assert hist.snapshot()["count"] == 0
+
+
+def test_histogram_quantiles_bracket_the_data():
+    hist = LatencyHistogram()
+    for ms in range(1, 101):  # 1ms .. 100ms uniform
+        hist.record(ms / 1000.0)
+    assert hist.count == 100
+    p50 = hist.quantile(0.50)
+    p99 = hist.quantile(0.99)
+    assert 0.02 <= p50 <= 0.09  # bucket-estimated median of U(1ms,100ms)
+    assert p99 >= p50
+    assert hist.quantile(1.0) == pytest.approx(0.1, rel=0.5)
+    assert hist.mean == pytest.approx(0.0505, rel=1e-6)
+
+
+def test_histogram_quantile_is_monotone_in_q():
+    hist = LatencyHistogram()
+    for value in (0.001, 0.002, 0.004, 0.050, 0.300, 2.0):
+        hist.record(value)
+    qs = [hist.quantile(q / 10) for q in range(11)]
+    assert qs == sorted(qs)
+
+
+def test_histogram_overflow_bucket():
+    hist = LatencyHistogram(bounds=(0.001, 0.01))
+    hist.record(5.0)  # way past the last bound
+    assert hist.quantile(0.99) == 5.0
+    assert "+Inf" in hist.snapshot()["buckets"]
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(bounds=(0.2, 0.1))
+    with pytest.raises(ValueError):
+        LatencyHistogram().quantile(1.5)
+
+
+def test_serving_metrics_counters_and_hit_rate():
+    metrics = ServingMetrics(queue_depth=lambda: 3)
+    metrics.record_request(0.002, cache_hit=True)
+    metrics.record_request(0.004, cache_hit=False)
+    metrics.record_request(0.008, cache_hit=False)
+    metrics.increment("rejected")
+    snap = metrics.snapshot()
+    assert snap["counters"]["requests"] == 3
+    assert snap["counters"]["cache_hits"] == 1
+    assert snap["counters"]["cache_misses"] == 2
+    assert snap["counters"]["rejected"] == 1
+    assert snap["queue_depth"] == 3
+    assert metrics.cache_hit_rate == pytest.approx(1 / 3)
+    assert snap["latency"]["count"] == 3
+
+
+def test_serving_metrics_report_is_readable_text():
+    metrics = ServingMetrics()
+    metrics.record_request(0.003)
+    metrics.record_queue_wait(0.001)
+    report = metrics.report()
+    assert "serving metrics" in report
+    assert "requests" in report
+    assert "p95" in report
+    assert "queue_wait" in report

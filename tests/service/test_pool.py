@@ -1,0 +1,111 @@
+"""Unit tests for the engine worker pool (no real engines needed)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
+from repro.service.pool import EnginePool
+
+
+class FakeEngine:
+    def __init__(self, name="e"):
+        self.name = name
+
+
+def test_execute_passes_the_engine_through():
+    with EnginePool(FakeEngine("only"), workers=2, max_queue=8) as pool:
+        assert pool.execute(lambda engine: engine.name) == "only"
+
+
+def test_exceptions_propagate_to_the_caller():
+    with EnginePool(FakeEngine(), workers=1, max_queue=4) as pool:
+        with pytest.raises(RuntimeError, match="boom"):
+            pool.execute(lambda engine: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+def test_single_engine_serializes_even_with_many_workers():
+    """With one (cracking) engine, queries must never overlap on it."""
+    active = []
+    max_active = [0]
+    lock = threading.Lock()
+
+    def job(engine):
+        with lock:
+            active.append(1)
+            max_active[0] = max(max_active[0], len(active))
+        time.sleep(0.005)
+        with lock:
+            active.pop()
+        return True
+
+    with EnginePool(FakeEngine(), workers=4, max_queue=64) as pool:
+        futures = [pool.submit(job) for _ in range(20)]
+        assert all(f.result(timeout=10) for f in futures)
+    assert max_active[0] == 1
+
+
+def test_replicas_run_concurrently():
+    max_active = [0]
+    active = []
+    lock = threading.Lock()
+    started = threading.Barrier(2, timeout=5)
+
+    def job(engine):
+        with lock:
+            active.append(1)
+            max_active[0] = max(max_active[0], len(active))
+        started.wait()
+        with lock:
+            active.pop()
+        return True
+
+    engines = [FakeEngine("a"), FakeEngine("b")]
+    with EnginePool(engines, workers=2, max_queue=8) as pool:
+        futures = [pool.submit(job) for _ in range(2)]
+        assert all(f.result(timeout=10) for f in futures)
+    assert max_active[0] == 2
+
+
+def test_queue_full_raises_with_retry_after():
+    release = threading.Event()
+    with EnginePool(FakeEngine(), workers=1, max_queue=1) as pool:
+        blocker = pool.submit(lambda engine: release.wait(5))
+        # Give the worker a moment to pick up the blocker, then fill the queue.
+        time.sleep(0.05)
+        filler = pool.submit(lambda engine: None)
+        with pytest.raises(QueueFullError) as excinfo:
+            pool.submit(lambda engine: None)
+        assert excinfo.value.retry_after > 0
+        release.set()
+        blocker.result(timeout=5)
+        filler.result(timeout=5)
+
+
+def test_deadline_exceeded_while_queued():
+    release = threading.Event()
+    with EnginePool(FakeEngine(), workers=1, max_queue=4) as pool:
+        blocker = pool.submit(lambda engine: release.wait(5))
+        doomed = pool.submit(lambda engine: "late", timeout=0.01)
+        time.sleep(0.05)
+        release.set()
+        blocker.result(timeout=5)
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=5)
+
+
+def test_submit_after_shutdown_raises():
+    pool = EnginePool(FakeEngine(), workers=1, max_queue=2)
+    pool.shutdown()
+    with pytest.raises(ServiceError):
+        pool.submit(lambda engine: None)
+
+
+def test_constructor_validation():
+    with pytest.raises(ServiceError):
+        EnginePool([], workers=1)
+    with pytest.raises(ServiceError):
+        EnginePool(FakeEngine(), workers=0)
+    with pytest.raises(ServiceError):
+        EnginePool(FakeEngine(), workers=1, max_queue=0)
