@@ -1,0 +1,38 @@
+"""Fault-injection serving benchmark: throughput and answer preservation.
+
+Replays a workload through the query service with the standard chaos
+schedule active (worker kills, injected query faults, one forced index
+failure) and clients retrying, then compares every answer element-wise
+against a fault-free sequential oracle. Records what the fault-tolerance
+machinery did via pytest-benchmark ``extra_info``.
+"""
+
+from conftest import run_once
+
+from repro.bench.resilience import run_resilience_benchmark
+
+
+def test_service_under_faults(benchmark, scale):
+    def run():
+        result, _ = run_resilience_benchmark(
+            scale=scale, num_queries=int(500 * scale), threads=4
+        )
+        return result
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info.update(
+        {
+            "completed": result.completed,
+            "matched": result.matched,
+            "answer_preserving": result.answer_preserving,
+            "throughput_qps": round(result.throughput_qps, 1),
+            "p99_ms": round(result.p99_ms, 3),
+            "worker_kills": result.worker_kills,
+            "query_faults": result.query_faults,
+            "retried": result.retried,
+            "worker_restarts": result.worker_restarts,
+            "degradations": result.degradations,
+            "index_rebuilds": result.index_rebuilds,
+        }
+    )
+    assert result.answer_preserving

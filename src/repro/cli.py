@@ -9,6 +9,7 @@ query      top-k predictive query against a saved artifact
 aggregate  aggregate query against a saved artifact
 serve      run the concurrent query service (JSON HTTP API)
 replay     fire a synthetic workload at a service and report latency
+recover    replay an artifact's write-ahead log after a crash
 bench      alias for ``python -m repro.bench``
 
 Example session::
@@ -96,6 +97,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--cache-size", type=int, default=2048)
 
+    p = sub.add_parser(
+        "recover", help="recover an artifact: load the snapshot, replay its WAL"
+    )
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--compact", action="store_true",
+                   help="write a fresh snapshot and truncate the WAL afterwards")
+
     p = sub.add_parser("bench", help="run the benchmark harness")
     p.add_argument("--figure", default="all")
     p.add_argument("--scale", type=float, default=1.0)
@@ -109,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
         "aggregate": _cmd_aggregate,
         "serve": _cmd_serve,
         "replay": _cmd_replay,
+        "recover": _cmd_recover,
         "bench": _cmd_bench,
     }[args.command]
     return handler(args)
@@ -286,6 +295,22 @@ def _cmd_replay(args) -> int:
         print(report.summary())
         print()
         print(service.metrics.report())
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.dynamic.updater import OnlineUpdater
+    from repro.resilience.recovery import recover_engine
+    from repro.resilience.wal import DurableUpdater
+
+    engine, report = recover_engine(args.artifact)
+    print(report.summary())
+    if args.compact:
+        # The DurableUpdater picks its LSN up from the existing WAL, so the
+        # new snapshot absorbs every record replay just applied.
+        durable = DurableUpdater(OnlineUpdater(engine), args.artifact)
+        durable.checkpoint()
+        print(f"compacted: snapshot now at lsn {durable.lag()['last_lsn']}, WAL truncated")
     return 0
 
 

@@ -24,7 +24,7 @@ vector changes through the same delete/re-project/insert cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,12 +37,21 @@ from repro.rng import ensure_rng
 
 @dataclass
 class UpdateReport:
-    """What one update did: which entities moved and by how much."""
+    """What one update did: which entities moved and by how much.
+
+    ``changed_vectors`` / ``changed_relations`` carry the exact
+    post-update rows of every entity/relation vector the update wrote
+    (including sub-tolerance entity moves that were *not* re-indexed) —
+    the physical effects a write-ahead log needs to replay the update
+    bit-identically without re-running SGD.
+    """
 
     entities_touched: tuple[int, ...] = ()
     entities_reindexed: tuple[int, ...] = ()
     local_steps: int = 0
     max_displacement: float = 0.0
+    changed_vectors: dict[int, np.ndarray] = field(default_factory=dict)
+    changed_relations: dict[int, np.ndarray] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -170,6 +179,7 @@ class OnlineUpdater:
             entities_reindexed=(entity,),
             local_steps=0,
             max_displacement=displacement,
+            changed_vectors={int(entity): vectors[entity].copy()},
         )
 
     # -- internals ----------------------------------------------------------------
@@ -196,6 +206,11 @@ class OnlineUpdater:
         vectors = model.entity_vectors()
         local_entities = self._entities_of(local)
         before = {int(e): vectors[int(e)].copy() for e in local_entities}
+        # Relation rows move during SGD too (the margin-ranking gradient
+        # touches r); snapshot the (small) relation matrix so the report
+        # can list exactly which rows changed, for WAL effect logging.
+        relations = model.relation_vectors()
+        relations_before = relations.copy()
         sampler = NegativeSampler(graph, seed=self._rng)
         steps = 0
         for _ in range(self.local_epochs):
@@ -212,12 +227,19 @@ class OnlineUpdater:
                 vectors[entity] = row
             steps += 1
         moved = []
+        changed_vectors: dict[int, np.ndarray] = {}
         max_displacement = 0.0
         for entity, old in before.items():
             displacement = float(np.linalg.norm(vectors[entity] - old))
             max_displacement = max(max_displacement, displacement)
+            if displacement > 0.0:
+                changed_vectors[entity] = vectors[entity].copy()
             if displacement > self.reindex_tolerance:
                 moved.append(entity)
+        changed_relations = {
+            int(r): relations[int(r)].copy()
+            for r in np.flatnonzero(np.any(relations != relations_before, axis=1))
+        }
         old_points, new_points = self._reindex(moved)
         self._notify(
             UpdateEvent(
@@ -233,6 +255,8 @@ class OnlineUpdater:
             entities_reindexed=tuple(moved),
             local_steps=steps,
             max_displacement=max_displacement,
+            changed_vectors=changed_vectors,
+            changed_relations=changed_relations,
         )
 
     def _incident_triples(

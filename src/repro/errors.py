@@ -62,3 +62,48 @@ class DeadlineExceededError(ServiceError):
 
     Maps to HTTP 504.
     """
+
+
+class TransientServiceError(ServiceError):
+    """A service-side failure that is safe (and sensible) to retry.
+
+    The request itself was fine; a component failed underneath it — a
+    worker died mid-query, a fault was injected, a replica was being
+    repaired. Clients holding a
+    :class:`~repro.resilience.retry.RetryPolicy` retry these.
+    """
+
+
+class InjectedFaultError(TransientServiceError):
+    """A fault deliberately raised by the chaos harness
+    (:mod:`repro.resilience.chaos`). Never raised in production paths
+    unless a controller is active."""
+
+
+class WorkerCrashError(TransientServiceError):
+    """Raised *inside* a pool worker by the chaos harness to simulate
+    the worker thread dying. The pool turns it into a dead worker (for
+    the watchdog to reap); callers never see this type directly."""
+
+
+class CircuitOpenError(ServiceError):
+    """The service's circuit breaker is open: recent requests failed at
+    a rate above the trip threshold, so new work is rejected immediately
+    instead of piling onto a failing backend.
+
+    Maps to HTTP 503; :attr:`retry_after` is the time until the breaker
+    will next admit a half-open probe.
+    """
+
+    def __init__(self, message: str = "circuit breaker is open", retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WALError(ReproError):
+    """A write-ahead-log append or read failed (I/O error, checksum
+    mismatch away from the tail, unreplayable record)."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent engine state."""

@@ -241,7 +241,12 @@ class RTreeBase:
         replacement = self._insert_into(child, ident, point)
         entry.entries[best_index] = replacement
         entry.mbr = entry.mbr.union(Rect(point, point))
-        if isinstance(replacement, FrontierEntry):
+        # A leaf overflow anywhere below uncracks into a frontier; the
+        # "no frontier beneath" memo must be invalidated all the way up,
+        # not just on the overflowing leaf's direct parent.
+        if isinstance(replacement, FrontierEntry) or (
+            isinstance(replacement, InternalNode) and not replacement.complete
+        ):
             entry.complete = False
         return entry
 

@@ -13,12 +13,19 @@ point of the paper). :func:`save_engine` therefore writes:
 
 :func:`load_engine` restores a fully functional engine whose answers are
 bit-identical to the saved one's (same vectors, same projection).
+
+Saves are **atomic at the directory level**: artifacts are written into
+a temporary sibling directory and renamed into place, so a crash mid-save
+can never leave a torn ``arrays.npz``/``meta.json`` pair — the artifact
+directory is always either the complete old version or the complete new
+one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -34,10 +41,47 @@ from repro.transform.jl import JLTransform
 _FORMAT_VERSION = 1
 
 
-def save_engine(engine: QueryEngine, directory: str | os.PathLike[str]) -> None:
-    """Persist ``engine`` (graph + embedding + transform + config)."""
-    path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
+def save_engine(
+    engine: QueryEngine,
+    directory: str | os.PathLike[str],
+    extra_meta: dict | None = None,
+    keep: set[str] | None = None,
+) -> None:
+    """Persist ``engine`` (graph + embedding + transform + config).
+
+    The write is atomic: everything lands in a ``<directory>.tmp.<pid>``
+    sibling first and is renamed over ``directory``. ``extra_meta``
+    entries are merged into ``meta.json`` (used by the WAL to record the
+    last compacted LSN); ``keep`` names files of an *existing* artifact
+    directory to carry over into the new one (e.g. the live WAL).
+    """
+    final = Path(directory)
+    final.parent.mkdir(parents=True, exist_ok=True)
+    tmp = final.parent / f"{final.name}.tmp.{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    try:
+        _write_artifacts(engine, tmp, extra_meta)
+        if final.exists():
+            for name in keep or ():
+                source = final / name
+                if source.exists():
+                    shutil.copy2(source, tmp / name)
+            trash = final.parent / f"{final.name}.old.{os.getpid()}"
+            if trash.exists():
+                shutil.rmtree(trash)
+            os.rename(final, trash)
+            os.rename(tmp, final)
+            shutil.rmtree(trash)
+        else:
+            os.rename(tmp, final)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+
+def _write_artifacts(engine: QueryEngine, path: Path, extra_meta: dict | None) -> None:
     graph = engine.graph
     save_triples(graph, path / "graph.tsv")
     save_attributes(graph, path / "attributes.tsv")
@@ -65,6 +109,7 @@ def save_engine(engine: QueryEngine, directory: str | os.PathLike[str]) -> None:
         "fanout": engine.index.fanout,
         "beta": engine.index.beta,
     }
+    meta.update(extra_meta or {})
     (path / "meta.json").write_text(json.dumps(meta, indent=2))
 
 
@@ -78,12 +123,31 @@ def load_engine(directory: str | os.PathLike[str]) -> QueryEngine:
     answers — match the saved engine's.
     """
     path = Path(directory)
-    meta = json.loads((path / "meta.json").read_text())
-    if meta.get("format_version") != _FORMAT_VERSION:
+    meta_path = path / "meta.json"
+    if not meta_path.exists():
         raise ReproError(
-            f"unsupported artifact format: {meta.get('format_version')!r}"
+            f"{os.fspath(directory)!r} is not an engine artifact: meta.json is missing "
+            "(was the save interrupted, or is this the wrong directory?)"
         )
-    with np.load(path / "arrays.npz", allow_pickle=True) as arrays:
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"meta.json is not valid JSON: {exc}") from exc
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported artifact format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION}); "
+            "missing version means the artifact is damaged or foreign"
+        )
+    required = ("graph_name", "alpha", "epsilon", "index", "leaf_capacity", "fanout", "beta")
+    missing = [key for key in required if key not in meta]
+    if missing:
+        raise ReproError(f"meta.json is missing required keys: {missing}")
+    arrays_path = path / "arrays.npz"
+    if not arrays_path.exists():
+        raise ReproError("artifact is torn: meta.json present but arrays.npz missing")
+    with np.load(arrays_path, allow_pickle=True) as arrays:
         entities = arrays["entities"]
         relations = arrays["relations"]
         projection = arrays["projection"]

@@ -1,0 +1,175 @@
+"""A failure-rate circuit breaker for the query path.
+
+Classic three-state machine over a sliding window of request outcomes:
+
+- **closed** — requests flow; outcomes are recorded. When at least
+  ``min_volume`` of the last ``window`` outcomes exist and the failure
+  fraction reaches ``failure_threshold``, the breaker opens.
+- **open** — requests are rejected instantly with
+  :class:`~repro.errors.CircuitOpenError` (mapped to HTTP 503 with a
+  ``Retry-After``), shedding load from a failing backend instead of
+  queueing onto it. After ``cooldown`` seconds it transitions to
+  half-open.
+- **half-open** — up to ``half_open_probes`` concurrent probe requests
+  are admitted; a probe success closes the breaker (window cleared), a
+  probe failure re-opens it for another cooldown.
+
+What counts as a failure is the *caller's* choice (via
+:meth:`CircuitBreaker.record_failure`): the service records backend
+failures (worker crashes, deadline misses, unexpected exceptions) but
+not client errors (bad query) or backpressure (queue full) — a breaker
+must not trip because users send malformed requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe failure-rate circuit breaker.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_volume: int = 10,
+        cooldown: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_volume < 1:
+            raise ValueError("window and min_volume must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_volume = min_volume
+        self.cooldown = cooldown
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._transitions = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def transitions(self) -> int:
+        with self._lock:
+            return self._transitions
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            failures = sum(self._outcomes)
+            return {
+                "state": self._state,
+                "window_failures": failures,
+                "window_size": len(self._outcomes),
+                "failure_rate": failures / len(self._outcomes) if self._outcomes else 0.0,
+                "transitions": self._transitions,
+            }
+
+    # -- the protocol ------------------------------------------------------
+
+    def allow(self) -> None:
+        """Admit a request or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return
+            if self._state == HALF_OPEN and self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return
+            remaining = max(0.0, self._opened_at + self.cooldown - self._clock())
+            raise CircuitOpenError(retry_after=max(0.001, remaining))
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(CLOSED)
+                self._outcomes.clear()
+                return
+            self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._open()
+                return
+            self._outcomes.append(True)
+            if (
+                self._state == CLOSED
+                and len(self._outcomes) >= self.min_volume
+                and sum(self._outcomes) / len(self._outcomes) >= self.failure_threshold
+            ):
+                self._open()
+
+    def record_ignored(self) -> None:
+        """Release an admitted request without recording an outcome (used
+        for exceptions that say nothing about backend health, e.g.
+        backpressure or client errors)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    def call(self, fn: Callable, failure_types: tuple = (Exception,)):
+        """Run ``fn()`` under the breaker; exceptions of ``failure_types``
+        count as failures, everything else passes through unrecorded."""
+        self.allow()
+        try:
+            result = fn()
+        except failure_types:
+            self.record_failure()
+            raise
+        except BaseException:
+            self.record_ignored()
+            raise
+        self.record_success()
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._transition(OPEN)
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._probes_in_flight = 0
+            self._transition(HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        old, self._state = self._state, new_state
+        self._transitions += 1
+        if self._on_transition is not None:
+            self._on_transition(old, new_state)

@@ -1,0 +1,186 @@
+"""Deterministic fault injection for the resilience test harness.
+
+Production code is sprinkled with *named injection points* — cheap
+``chaos.fire("pool.worker")`` calls that are no-ops until a
+:class:`ChaosController` is activated. A controller carries *rules*
+keyed by point name; when a rule fires it either raises a configured
+exception or sleeps (artificial latency). Firing decisions come from a
+seeded RNG under a lock, so a given seed produces one reproducible fault
+schedule; hit-scheduled rules (``after``/``max_fires`` with probability
+1) fire on exact hit counts regardless of thread interleaving.
+
+Standard injection points wired into the codebase:
+
+==========================  ====================================================
+``pool.worker``             top of a pool worker's loop, before it takes a
+                            request — raising :class:`WorkerCrashError` kills
+                            the thread cleanly (no request or engine is held)
+``pool.worker.dirty``       after the worker checked an engine out — a crash
+                            here fails the in-flight request with a retryable
+                            error and strands the engine for the watchdog
+``service.query``           inside the query callable on the pool — the place
+                            to inject query faults and artificial latency
+``engine.topk``             inside the degradation ladder's indexed path —
+                            raising :class:`~repro.errors.IndexError_` here
+                            simulates "the tree raised mid-query" and triggers
+                            the ladder
+``wal.append``              before a WAL record is written — raising
+                            :class:`~repro.errors.WALError` simulates a failed
+                            log write
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.rng import ensure_rng
+
+
+@dataclass
+class FaultRule:
+    """One fault source bound to an injection point.
+
+    The rule *fires* on a hit when: the hit index (1-based, per point)
+    is strictly greater than ``after``, fewer than ``max_fires`` fires
+    have happened, and a seeded uniform draw falls below
+    ``probability``. Firing sleeps ``delay`` seconds (if set) and then
+    raises ``exc()`` (if set).
+    """
+
+    point: str
+    exc: type | None = None
+    message: str = "injected fault"
+    delay: float = 0.0
+    probability: float = 1.0
+    after: int = 0
+    max_fires: int | None = 1
+    hits: int = 0
+    fires: int = 0
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """Journal entry: one fault that actually fired."""
+
+    point: str
+    hit: int
+    exc: str | None
+    delay: float
+
+
+class ChaosController:
+    """A seeded registry of fault rules plus a journal of fired faults."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = ensure_rng(seed)
+        self._lock = threading.Lock()
+        self._rules: dict[str, list[FaultRule]] = {}
+        self.journal: list[FiredFault] = []
+
+    def on(
+        self,
+        point: str,
+        exc: type | None = None,
+        message: str = "injected fault",
+        delay: float = 0.0,
+        probability: float = 1.0,
+        after: int = 0,
+        max_fires: int | None = 1,
+    ) -> FaultRule:
+        """Register a rule at ``point``; returns it for introspection."""
+        rule = FaultRule(
+            point=point,
+            exc=exc,
+            message=message,
+            delay=delay,
+            probability=probability,
+            after=after,
+            max_fires=max_fires,
+        )
+        with self._lock:
+            self._rules.setdefault(point, []).append(rule)
+        return rule
+
+    def fire(self, point: str) -> None:
+        """Evaluate the rules at ``point`` (called by injection sites)."""
+        with self._lock:
+            rules = self._rules.get(point)
+            if not rules:
+                return
+            to_apply: list[FaultRule] = []
+            for rule in rules:
+                rule.hits += 1
+                if rule.hits <= rule.after:
+                    continue
+                if rule.max_fires is not None and rule.fires >= rule.max_fires:
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                rule.fires += 1
+                self.journal.append(
+                    FiredFault(
+                        point=point,
+                        hit=rule.hits,
+                        exc=rule.exc.__name__ if rule.exc else None,
+                        delay=rule.delay,
+                    )
+                )
+                to_apply.append(rule)
+        # Sleep/raise outside the lock so latency injection does not
+        # serialize unrelated injection points.
+        for rule in to_apply:
+            if rule.delay > 0:
+                time.sleep(rule.delay)
+            if rule.exc is not None:
+                raise rule.exc(rule.message)
+
+    def fired(self, point: str | None = None) -> int:
+        """Number of faults fired (optionally at one point)."""
+        with self._lock:
+            if point is None:
+                return len(self.journal)
+            return sum(1 for f in self.journal if f.point == point)
+
+    def hits(self, point: str) -> int:
+        """Times ``point`` was reached (whether or not a rule fired)."""
+        with self._lock:
+            return max((r.hits for r in self._rules.get(point, [])), default=0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rules.clear()
+            self.journal.clear()
+
+
+# -- global activation ------------------------------------------------------
+
+#: The active controller, or None (the common case: injection is off and
+#: every ``fire`` call is a single attribute load + None check).
+_active: ChaosController | None = None
+
+
+def fire(point: str) -> None:
+    """Injection-site hook; no-op unless a controller is active."""
+    controller = _active
+    if controller is not None:
+        controller.fire(point)
+
+
+def install(controller: ChaosController | None) -> None:
+    """Globally (de)activate ``controller``; prefer :func:`activate`."""
+    global _active
+    _active = controller
+
+
+@contextmanager
+def activate(controller: ChaosController):
+    """Activate ``controller`` for the duration of a ``with`` block."""
+    install(controller)
+    try:
+        yield controller
+    finally:
+        install(None)

@@ -1,0 +1,87 @@
+"""Client-side retries: exponential backoff, jitter, ``Retry-After``.
+
+The serving layer's transient failures are *designed* to be retried:
+backpressure (:class:`~repro.errors.QueueFullError`) and an open breaker
+(:class:`~repro.errors.CircuitOpenError`) carry a server-suggested
+``retry_after``; a worker crash or injected fault surfaces as
+:class:`~repro.errors.TransientServiceError`. :class:`RetryPolicy`
+encodes the standard client etiquette:
+
+- honour ``retry_after`` when the server provides one;
+- otherwise back off exponentially (``base * multiplier**attempt``,
+  capped at ``max_delay``);
+- add full jitter (a seeded uniform fraction of the delay) so a
+  thundering herd of clients decorrelates;
+- give up after ``max_attempts`` and re-raise the last error.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import (
+    CircuitOpenError,
+    QueueFullError,
+    TransientServiceError,
+)
+from repro.rng import ensure_rng
+
+#: Exception types retried by default.
+DEFAULT_RETRYABLE = (QueueFullError, CircuitOpenError, TransientServiceError)
+
+
+class RetryPolicy:
+    """Deterministic (seeded) retry schedule for transient failures."""
+
+    def __init__(
+        self,
+        max_attempts: int = 6,
+        base_delay: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        retry_on: tuple = DEFAULT_RETRYABLE,
+        seed: int | np.random.Generator | None = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retry_on = tuple(retry_on)
+        self._rng = ensure_rng(seed)
+        self._sleep = sleep
+        self.retries = 0  # total across this policy's lifetime
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int, exc: BaseException | None = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        suggested = getattr(exc, "retry_after", None)
+        if suggested is not None:
+            delay = float(suggested)
+        else:
+            delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * float(self._rng.random())
+        return delay
+
+    def run(self, fn: Callable):
+        """Call ``fn()`` until it succeeds, retrying transient failures."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except self.retry_on as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise
+                self.retries += 1
+                self._sleep(self.delay(attempt - 1, exc))

@@ -1,0 +1,302 @@
+"""A write-ahead log for online updates, and the durable updater.
+
+The engine snapshot (:func:`repro.persistence.save_engine`) captures the
+expensive trained state, and the cracking index rebuilds itself for free
+— but the *online updates* applied since the last snapshot are neither:
+a crash of the serving process silently loses them. The WAL closes that
+gap with the classic two-record protocol:
+
+1. **begin** — the logical operation (``add_edge`` + its arguments) is
+   appended *before* anything is applied, so recovery always knows what
+   was in flight;
+2. the update runs in memory (graph + local SGD + re-index);
+3. **commit** — the *physical effects* (the exact post-update entity and
+   relation vector rows, and which entities were re-indexed) are
+   appended and fsynced. Only then does the call return: an update
+   acknowledged to the caller is durable.
+
+Recovery (:func:`repro.resilience.recovery.recover_engine`) replays
+committed effects onto the snapshot — it never re-runs SGD, so the
+restored entity matrix is bit-identical regardless of the original
+model's trainability or RNG state. A ``begin`` without a matching
+``commit`` marks an update that was never acknowledged; recovery reports
+it and drops it, which is exactly the contract the caller observed.
+
+Records are JSON lines carrying a CRC-32 of their canonical payload. A
+torn final line (the crash happened mid-``write``) is detected and
+ignored; a checksum failure *before* the tail means real corruption and
+raises :class:`~repro.errors.WALError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WALError
+from repro.resilience import chaos
+
+#: Default WAL file name inside an engine artifact directory.
+WAL_FILENAME = "updates.wal"
+
+
+def _checksum(payload: dict) -> int:
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+def encode_record(payload: dict) -> str:
+    """Serialize ``payload`` to one WAL line (appending its crc)."""
+    record = dict(payload)
+    record["crc"] = _checksum(payload)
+    return json.dumps(record, sort_keys=True)
+
+
+def decode_record(line: str) -> dict:
+    """Parse and verify one WAL line; raises ``ValueError`` on damage."""
+    record = json.loads(line)
+    if not isinstance(record, dict) or "crc" not in record:
+        raise ValueError("record has no checksum")
+    crc = record.pop("crc")
+    if crc != _checksum(record):
+        raise ValueError("checksum mismatch")
+    return record
+
+
+class WriteAheadLog:
+    """An append-only, checksummed JSONL log with fsync durability."""
+
+    def __init__(self, path: str | os.PathLike[str], fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def append(self, payload: dict) -> None:
+        """Durably append one record (fails atomically: a torn write is
+        detected — and discarded — by :meth:`read_records`)."""
+        chaos.fire("wal.append")
+        try:
+            self._file.write(encode_record(payload) + "\n")
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+        except OSError as exc:  # pragma: no cover - environment-dependent
+            raise WALError(f"WAL append failed: {exc}") from exc
+
+    def reset(self) -> None:
+        """Truncate the log (after its contents made it into a snapshot)."""
+        self._file.close()
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    @property
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:  # pragma: no cover - file held open
+            return 0
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def read_records(path: str | os.PathLike[str]) -> tuple[list[dict], bool]:
+        """All valid records in ``path``; returns ``(records, torn_tail)``.
+
+        A damaged *final* line is a torn write from a crash and is
+        silently dropped (``torn_tail=True``); damage anywhere else is
+        corruption and raises :class:`WALError`.
+        """
+        path = Path(path)
+        if not path.exists():
+            return [], False
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records: list[dict] = []
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(decode_record(line))
+            except ValueError as exc:
+                if number == len(lines) - 1:
+                    return records, True
+                raise WALError(
+                    f"WAL corrupted at line {number + 1} (not the tail): {exc}"
+                ) from exc
+        return records, False
+
+
+# -- the durable updater ----------------------------------------------------
+
+
+def _vec(vector) -> list[float]:
+    return [float(x) for x in np.asarray(vector, dtype=np.float64)]
+
+
+def _effects_of(report) -> dict:
+    """Physical effects of one :class:`~repro.dynamic.updater.UpdateReport`."""
+    return {
+        "vectors": {str(e): _vec(v) for e, v in report.changed_vectors.items()},
+        "relations": {str(r): _vec(v) for r, v in report.changed_relations.items()},
+        "reindexed": [int(e) for e in report.entities_reindexed],
+    }
+
+
+class DurableUpdater:
+    """An :class:`~repro.dynamic.updater.OnlineUpdater` wrapper that
+    write-ahead-logs every mutation into ``directory/updates.wal``.
+
+    ``directory`` is the engine's artifact directory (the one
+    :func:`~repro.persistence.save_engine` wrote); :meth:`checkpoint`
+    compacts the log by writing a fresh snapshot there — atomically —
+    and truncating the WAL.
+
+    If a *commit* append fails (disk full, injected fault), the update
+    has already been applied in memory but was never acknowledged as
+    durable; the updater then refuses further updates until
+    :meth:`checkpoint` re-establishes a consistent snapshot.
+    """
+
+    def __init__(
+        self,
+        updater,
+        directory: str | os.PathLike[str],
+        fsync: bool = True,
+    ) -> None:
+        self.updater = updater
+        self.directory = Path(directory)
+        self.wal = WriteAheadLog(self.directory / WAL_FILENAME, fsync=fsync)
+        self._needs_checkpoint = False
+        records, _ = WriteAheadLog.read_records(self.wal.path)
+        self._lsn = max((int(r["lsn"]) for r in records), default=self._snapshot_lsn())
+        self._pending = sum(1 for r in records if r.get("type") == "commit")
+
+    @property
+    def engine(self):
+        return self.updater.engine
+
+    def _snapshot_lsn(self) -> int:
+        meta_path = self.directory / "meta.json"
+        if not meta_path.exists():
+            return 0
+        meta = json.loads(meta_path.read_text())
+        return int(meta.get("wal", {}).get("last_lsn", 0))
+
+    # -- listener passthrough ---------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        self.updater.add_listener(listener)
+
+    def remove_listener(self, listener) -> None:
+        self.updater.remove_listener(listener)
+
+    # -- logged operations -------------------------------------------------
+
+    def add_edge(self, head: int, relation: int, tail: int):
+        args = {"head": int(head), "relation": int(relation), "tail": int(tail)}
+        return self._logged("add_edge", args, lambda: self.updater.add_edge(head, relation, tail))
+
+    def remove_edge(self, head: int, relation: int, tail: int):
+        args = {"head": int(head), "relation": int(relation), "tail": int(tail)}
+        return self._logged(
+            "remove_edge", args, lambda: self.updater.remove_edge(head, relation, tail)
+        )
+
+    def set_entity_vector(self, entity: int, vector):
+        args = {"entity": int(entity), "vector": _vec(vector)}
+        return self._logged(
+            "set_vector", args, lambda: self.updater.set_entity_vector(entity, vector)
+        )
+
+    def add_entity(self, name: str, near: int | None = None) -> int:
+        args = {"name": str(name), "near": int(near) if near is not None else None}
+        lsn = self._begin("add_entity", args)
+        entity = self.updater.add_entity(name, near=near)
+        vector = self.updater.engine.model.entity_vectors()[entity]
+        self._commit(
+            lsn, "add_entity", args, {"entity": int(entity), "vector": _vec(vector)}
+        )
+        return entity
+
+    def _logged(self, op: str, args: dict, apply):
+        lsn = self._begin(op, args)
+        report = apply()
+        self._commit(lsn, op, args, _effects_of(report))
+        return report
+
+    def _begin(self, op: str, args: dict) -> int:
+        if self._needs_checkpoint:
+            raise WALError(
+                "a previous commit failed to reach the log; call checkpoint() "
+                "to re-establish a durable snapshot before updating further"
+            )
+        self._lsn += 1
+        self.wal.append({"lsn": self._lsn, "type": "begin", "op": op, "args": args})
+        return self._lsn
+
+    def _commit(self, lsn: int, op: str, args: dict, effects: dict) -> None:
+        try:
+            self.wal.append(
+                {"lsn": lsn, "type": "commit", "op": op, "args": args, "effects": effects}
+            )
+        except WALError:
+            # The in-memory update happened but is not durable; fail safe.
+            self._needs_checkpoint = True
+            raise
+        self._pending += 1
+
+    # -- compaction --------------------------------------------------------
+
+    @property
+    def needs_checkpoint(self) -> bool:
+        return self._needs_checkpoint
+
+    def lag(self) -> dict:
+        """How far the snapshot trails the live state (the ``/healthz``
+        WAL-lag numbers)."""
+        return {
+            "pending_records": self._pending,
+            "bytes": self.wal.size_bytes,
+            "last_lsn": self._lsn,
+            "needs_checkpoint": self._needs_checkpoint,
+        }
+
+    def checkpoint(self) -> None:
+        """Compact: snapshot the live engine (atomically) and truncate
+        the WAL. Crash-safe at every step — the snapshot carries the
+        ``last_lsn`` it includes, so a crash between the snapshot rename
+        and the truncate only leaves already-included records, which
+        recovery skips by LSN."""
+        from repro.persistence import save_engine
+
+        save_engine(
+            self.updater.engine,
+            self.directory,
+            extra_meta={"wal": {"last_lsn": self._lsn}},
+            keep={WAL_FILENAME},
+        )
+        self.wal.reset()
+        self._pending = 0
+        self._needs_checkpoint = False
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableUpdater":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

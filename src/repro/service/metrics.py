@@ -130,7 +130,22 @@ class ServingMetrics:
             "splits_triggered": 0,
             "points_examined": 0,
             "invalidations": 0,
+            # fault-tolerance accounting
+            "degradations": 0,
+            "index_rebuilds": 0,
+            "engines_repaired": 0,
+            "worker_restarts": 0,
+            "workers_hung": 0,
+            "breaker_transitions": 0,
+            "breaker_rejections": 0,
         }
+        self._gauges: dict[str, Callable[[], object]] = {}
+
+    def register_gauge(self, name: str, fn: Callable[[], object]) -> None:
+        """Attach a pull-style gauge (e.g. breaker state, WAL lag); its
+        value appears under ``gauges`` in every snapshot."""
+        with self._lock:
+            self._gauges[name] = fn
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -178,6 +193,15 @@ class ServingMetrics:
         }
         if self._queue_depth is not None:
             snap["queue_depth"] = int(self._queue_depth())
+        with self._lock:
+            gauges = dict(self._gauges)
+        if gauges:
+            snap["gauges"] = {}
+            for name, fn in gauges.items():
+                try:
+                    snap["gauges"][name] = fn()
+                except Exception as exc:  # noqa: BLE001 - a gauge must not kill /metrics
+                    snap["gauges"][name] = f"error: {exc}"
         if self._cache_stats is not None:
             stats = self._cache_stats()
             snap["cache"] = {

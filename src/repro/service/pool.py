@@ -18,10 +18,25 @@ Backpressure: when the request queue is full, :meth:`EnginePool.submit`
 raises :class:`~repro.errors.QueueFullError` immediately with a
 ``retry_after`` hint derived from the observed service rate, instead of
 letting latency grow without bound.
+
+Fault tolerance: every worker carries a :class:`_WorkerState` heartbeat.
+A worker that dies (a real bug, or an injected
+:class:`~repro.errors.WorkerCrashError` from the chaos harness) is
+detected by :meth:`EnginePool.reap`, which reclaims any engine the dead
+worker had checked out — running a caller-supplied validator over it
+before it re-enters rotation — and spawns a replacement thread. A worker
+stuck in one request past a hang timeout can be *abandoned*
+(:meth:`EnginePool.abandon_hung_workers`): a replacement is spawned
+immediately and the straggler exits after its current request, parking
+its engine as *suspect* until the next reap validates it. A request is
+never silently lost: a crash before the take leaves the request queued
+for another worker; a crash mid-query fails that request's future with a
+retryable :class:`~repro.errors.TransientServiceError`.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -29,7 +44,14 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import DeadlineExceededError, QueueFullError, ServiceError
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceError,
+    TransientServiceError,
+    WorkerCrashError,
+)
+from repro.resilience import chaos
 
 
 @dataclass
@@ -39,6 +61,20 @@ class _Request:
     deadline: float | None
     enqueued_at: float
     on_wait: Callable[[float], None] | None = field(default=None)
+
+
+class _WorkerState:
+    """Heartbeat record for one worker thread."""
+
+    __slots__ = ("name", "thread", "busy_since", "abandoned", "dead", "exited")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.thread: threading.Thread | None = None
+        self.busy_since: float | None = None  # set while a request runs
+        self.abandoned = False  # told to exit after the current request
+        self.dead = False  # thread ended without a clean shutdown/exit
+        self.exited = False  # thread ended deliberately
 
 
 class EnginePool:
@@ -74,14 +110,23 @@ class EnginePool:
         self._lock = threading.Lock()
         # EMA of per-request service time, for the retry_after hint.
         self._ema_seconds = 0.005
-        self._threads = [
-            threading.Thread(
-                target=self._worker_loop, name=f"repro-pool-{i}", daemon=True
-            )
-            for i in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._worker_seq = itertools.count()
+        self._workers: list[_WorkerState] = []
+        # Engines stranded by crashed workers, awaiting validation.
+        self._stranded: dict[str, object] = {}
+        # Engines handed back by abandoned (formerly hung) workers.
+        self._suspects: list[object] = []
+        for _ in range(workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> _WorkerState:
+        state = _WorkerState(f"repro-pool-{next(self._worker_seq)}")
+        state.thread = threading.Thread(
+            target=self._worker_loop, args=(state,), name=state.name, daemon=True
+        )
+        self._workers.append(state)
+        state.thread.start()
+        return state
 
     # -- submission --------------------------------------------------------
 
@@ -128,49 +173,200 @@ class EnginePool:
 
     # -- worker side -------------------------------------------------------
 
-    def _worker_loop(self) -> None:
-        while True:
-            request = self._requests.get()
-            if request is None:  # shutdown sentinel
-                return
-            now = time.monotonic()
-            if request.on_wait is not None:
-                request.on_wait(now - request.enqueued_at)
-            if not request.future.set_running_or_notify_cancel():
-                continue
-            if request.deadline is not None and now >= request.deadline:
-                request.future.set_exception(
-                    DeadlineExceededError(
-                        f"deadline exceeded after {now - request.enqueued_at:.3f}s in queue"
+    def _worker_loop(self, state: _WorkerState) -> None:
+        try:
+            while True:
+                # Clean-crash injection point: fires *before* a request is
+                # taken, so nothing is lost — another worker serves it.
+                chaos.fire("pool.worker")
+                request = self._requests.get()
+                if request is None:  # shutdown sentinel
+                    state.exited = True
+                    return
+                now = time.monotonic()
+                if request.on_wait is not None:
+                    request.on_wait(now - request.enqueued_at)
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                if request.deadline is not None and now >= request.deadline:
+                    request.future.set_exception(
+                        DeadlineExceededError(
+                            f"deadline exceeded after {now - request.enqueued_at:.3f}s in queue"
+                        )
                     )
-                )
-                continue
-            engine = self._engines.get()
-            start = time.monotonic()
+                    continue
+                engine = self._engines.get()
+                state.busy_since = time.monotonic()
+                crashed = False
+                try:
+                    # Dirty-crash injection point: the engine is checked
+                    # out and the request is in flight.
+                    chaos.fire("pool.worker.dirty")
+                    result = request.fn(engine)
+                except WorkerCrashError as exc:
+                    # Simulated (or deliberate) thread death mid-query:
+                    # the caller sees a retryable error; the engine is
+                    # stranded for the watchdog to reclaim and validate.
+                    crashed = True
+                    request.future.set_exception(
+                        TransientServiceError(f"worker {state.name} crashed: {exc}")
+                    )
+                    with self._lock:
+                        self._stranded[state.name] = engine
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                    request.future.set_exception(exc)
+                else:
+                    request.future.set_result(result)
+                finally:
+                    start, state.busy_since = state.busy_since, None
+                    if not crashed:
+                        elapsed = time.monotonic() - (start or now)
+                        with self._lock:
+                            self._ema_seconds += 0.2 * (elapsed - self._ema_seconds)
+                        if state.abandoned:
+                            # Formerly hung: a replacement already exists.
+                            # Park the engine as suspect instead of putting
+                            # it straight back into rotation.
+                            with self._lock:
+                                self._suspects.append(engine)
+                        else:
+                            self._engines.put(engine)
+                if state.abandoned:
+                    state.exited = True
+                    return
+        except WorkerCrashError:
+            pass
+        finally:
+            if not state.exited:
+                state.dead = True
+
+    # -- supervision -------------------------------------------------------
+
+    def worker_states(self) -> list[dict]:
+        """Heartbeat snapshot for ``/healthz``."""
+        now = time.monotonic()
+        with self._lock:
+            workers = list(self._workers)
+        out = []
+        for state in workers:
+            busy = state.busy_since
+            out.append(
+                {
+                    "name": state.name,
+                    "alive": state.thread.is_alive() if state.thread else False,
+                    "busy_seconds": round(now - busy, 6) if busy is not None else None,
+                    "abandoned": state.abandoned,
+                    "dead": state.dead,
+                }
+            )
+        return out
+
+    def reap(self, validate: Callable[[object], None] | None = None) -> dict:
+        """Detect dead workers, reclaim their engines, spawn replacements.
+
+        ``validate`` (if given) is called with each reclaimed or suspect
+        engine *before* it re-enters rotation — typically
+        :func:`repro.resilience.degrade.validate_engine` or a ladder's
+        ``repair``. A validator that raises keeps the engine out of
+        rotation permanently (better one fewer replica than a corrupt
+        one); with replicas the pool keeps serving.
+
+        Returns counts: ``{"restarted": n, "reclaimed": n, "quarantined": n}``.
+        """
+        restarted = reclaimed = quarantined = 0
+        with self._lock:
+            dead = [
+                s
+                for s in self._workers
+                if s.dead or (s.thread is not None and not s.thread.is_alive() and not s.exited)
+            ]
+            for state in dead:
+                self._workers.remove(state)
+            exited = [s for s in self._workers if s.exited]
+            for state in exited:
+                self._workers.remove(state)
+            stranded = [self._stranded.pop(s.name) for s in dead if s.name in self._stranded]
+            suspects, self._suspects = self._suspects, []
+        for engine in stranded + suspects:
             try:
-                result = request.fn(engine)
-            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
-                request.future.set_exception(exc)
-            else:
-                request.future.set_result(result)
-            finally:
-                self._engines.put(engine)
-                elapsed = time.monotonic() - start
-                with self._lock:
-                    self._ema_seconds += 0.2 * (elapsed - self._ema_seconds)
+                if validate is not None:
+                    validate(engine)
+            except Exception:
+                quarantined += 1
+                continue
+            self._engines.put(engine)
+            reclaimed += 1
+        if not self._closed:
+            with self._lock:
+                missing = self.num_workers - sum(
+                    1 for s in self._workers if not s.abandoned
+                )
+            for _ in range(max(0, missing)):
+                self._spawn_worker()
+                restarted += 1
+        return {"restarted": restarted, "reclaimed": reclaimed, "quarantined": quarantined}
+
+    def abandon_hung_workers(self, hang_timeout: float) -> int:
+        """Give up on workers stuck in one request for over ``hang_timeout``.
+
+        Python threads cannot be killed, so a hung worker is *abandoned*:
+        flagged to exit after its current request (its engine then parks
+        as suspect) and replaced immediately so throughput recovers.
+        Returns the number of workers abandoned.
+        """
+        now = time.monotonic()
+        hung = []
+        with self._lock:
+            for state in self._workers:
+                busy = state.busy_since
+                if (
+                    not state.abandoned
+                    and not state.dead
+                    and busy is not None
+                    and now - busy > hang_timeout
+                ):
+                    state.abandoned = True
+                    hung.append(state)
+        if not self._closed:
+            for _ in hung:
+                self._spawn_worker()
+        return len(hung)
 
     # -- lifecycle ---------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work; drains queued requests first."""
+        """Stop accepting work; still-queued requests fail immediately.
+
+        Requests that have not started when shutdown begins get a
+        :class:`ServiceError` on their future — callers waiting on them
+        are released promptly instead of racing the worker teardown.
+        Requests already executing run to completion.
+        """
         if self._closed:
             return
         self._closed = True
-        for _ in self._threads:
+        self._fail_queued()
+        with self._lock:
+            workers = list(self._workers)
+        for _ in workers:
             self._requests.put(None)
         if wait:
-            for thread in self._threads:
-                thread.join(timeout=30.0)
+            for state in workers:
+                if state.thread is not None:
+                    state.thread.join(timeout=30.0)
+        self._fail_queued()
+
+    def _fail_queued(self) -> None:
+        while True:
+            try:
+                request = self._requests.get_nowait()
+            except queue.Empty:
+                return
+            if request is None:
+                continue
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(ServiceError("pool is shut down"))
 
     def __enter__(self) -> "EnginePool":
         return self

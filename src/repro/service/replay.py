@@ -35,6 +35,7 @@ class ReplayReport:
     latencies_seconds: list[float] = field(repr=False)
     results: list = field(repr=False)  # TopKResult | None, input order
     target_qps: float | None = None
+    retried: int = 0  # transient failures re-driven by the retry policy
 
     @property
     def throughput_qps(self) -> float:
@@ -75,6 +76,7 @@ def replay(
     target_qps: float | None = None,
     timeout: float | None = None,
     retry_rejected: bool = True,
+    retry=None,
     on_progress=None,
 ) -> ReplayReport:
     """Replay ``queries`` (objects with entity/relation/direction, e.g.
@@ -85,20 +87,37 @@ def replay(
     took (``None`` = closed loop, as fast as the clients can go).
     ``retry_rejected`` honours the backpressure protocol by sleeping the
     server-suggested ``retry_after`` and retrying; rejections are still
-    counted. ``on_progress`` is called with each query's input position
-    after it completes (used to inject mid-replay updates in tests).
+    counted. ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`)
+    generalises that to every transient failure — open breaker, worker
+    crash — with exponential backoff and jitter; it subsumes
+    ``retry_rejected``. ``on_progress`` is called with each query's input
+    position after it completes (used to inject mid-replay updates in
+    tests).
     """
     queries = list(queries)
     total = len(queries)
     results: list = [None] * total
     latencies: list[float | None] = [None] * total
-    counters = {"completed": 0, "rejected": 0, "deadline": 0, "errors": 0, "hits": 0}
+    counters = {
+        "completed": 0, "rejected": 0, "deadline": 0, "errors": 0, "hits": 0,
+        "retried": 0,
+    }
     next_index = [0]
     lock = threading.Lock()
     start = time.monotonic()
 
+    def backoff(attempt: int, exc: Exception) -> bool:
+        """Sleep per the retry policy; False when attempts are exhausted."""
+        if attempt >= retry.max_attempts:
+            return False
+        with lock:
+            counters["retried"] += 1
+        retry._sleep(retry.delay(attempt - 1, exc))
+        return True
+
     def run_one(position: int) -> None:
         query = queries[position]
+        attempt = 0
         while True:
             try:
                 detail = service.topk_detail(
@@ -107,6 +126,11 @@ def replay(
             except QueueFullError as exc:
                 with lock:
                     counters["rejected"] += 1
+                if retry is not None:
+                    attempt += 1
+                    if backoff(attempt, exc):
+                        continue
+                    return
                 if not retry_rejected:
                     return
                 time.sleep(exc.retry_after)
@@ -115,7 +139,11 @@ def replay(
                 with lock:
                     counters["deadline"] += 1
                 return
-            except ReproError:
+            except ReproError as exc:
+                if retry is not None and retry.is_retryable(exc):
+                    attempt += 1
+                    if backoff(attempt, exc):
+                        continue
                 with lock:
                     counters["errors"] += 1
                 return
@@ -163,4 +191,5 @@ def replay(
         latencies_seconds=[lat for lat in latencies if lat is not None],
         results=results,
         target_qps=target_qps,
+        retried=counters["retried"],
     )

@@ -11,10 +11,22 @@ threads. :func:`make_server` wraps a service in a
 - ``GET /topk?entity=..&relation=..&k=..&direction=..``
 - ``GET /aggregate?entity=..&relation=..&kind=..&attribute=..``
 - ``GET /metrics`` (plain text; ``?format=json`` for the snapshot)
-- ``GET /healthz``
+- ``GET /healthz`` (per-engine degradation levels, worker heartbeats,
+  circuit-breaker state, WAL replication lag)
 
 Service errors map onto status codes: queue full → 429 (with a
-``Retry-After`` header), deadline exceeded → 504, bad query → 400.
+``Retry-After`` header), deadline exceeded → 504, bad query → 400,
+open circuit breaker → 503 (with a ``Retry-After`` header).
+
+The fault-tolerance layer is wired here: every query runs through the
+:class:`~repro.resilience.degrade.DegradationLadder` (a broken index
+falls back to a fresh bulk tree, then a linear scan — answers are
+identical, Algorithm 3 is exact in S1), the pool is supervised by a
+:class:`~repro.resilience.watchdog.PoolWatchdog`, and a
+:class:`~repro.resilience.breaker.CircuitBreaker` sheds load when the
+backend itself is failing. What trips the breaker is backend trouble
+only — deadline misses, worker crashes, unexpected exceptions — never
+malformed queries or backpressure.
 """
 
 from __future__ import annotations
@@ -27,13 +39,19 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import (
+    CircuitOpenError,
     DeadlineExceededError,
     QueueFullError,
     ReproError,
     ServiceError,
+    TransientServiceError,
 )
 from repro.query.engine import QueryEngine
 from repro.query.topk import TopKResult
+from repro.resilience import chaos
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.degrade import DegradationLadder
+from repro.resilience.watchdog import PoolWatchdog
 from repro.service.cache import QueryKey, ResultCache
 from repro.service.metrics import ServingMetrics
 from repro.service.pool import EnginePool
@@ -66,6 +84,10 @@ class QueryService:
         cache_capacity: int = 2048,
         cache_ttl: float | None = None,
         default_timeout: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        watchdog_interval: float = 0.25,
+        hang_timeout: float = 30.0,
+        supervise: bool = True,
     ) -> None:
         engines = engine if isinstance(engine, (list, tuple)) else [engine]
         self.engine = engines[0]
@@ -82,6 +104,22 @@ class QueryService:
             on_queue_wait=self.metrics.record_queue_wait,
         )
         self.engine.result_cache = self.cache
+        self.ladder = DegradationLadder(metrics=self.metrics)
+        self.breaker = breaker or CircuitBreaker(
+            on_transition=lambda old, new: self.metrics.increment("breaker_transitions")
+        )
+        self.watchdog = PoolWatchdog(
+            self.pool,
+            interval=watchdog_interval,
+            hang_timeout=hang_timeout,
+            ladder=self.ladder,
+            metrics=self.metrics,
+        )
+        if supervise:
+            self.watchdog.start()
+        self.metrics.register_gauge("breaker", self.breaker.snapshot)
+        self.metrics.register_gauge("degradation", self.ladder.levels)
+        self._wal = None
         self._closed = False
 
     # -- dynamic updates ---------------------------------------------------
@@ -90,6 +128,14 @@ class QueryService:
         """Wire an :class:`~repro.dynamic.updater.OnlineUpdater` so its
         updates invalidate this service's cache."""
         updater.add_listener(self._on_update)
+
+    def attach_wal(self, durable) -> None:
+        """Wire a :class:`~repro.resilience.wal.DurableUpdater`: cache
+        invalidation plus a ``wal`` gauge (replication lag) on
+        ``/metrics`` and ``/healthz``."""
+        self.attach_updater(durable)
+        self._wal = durable
+        self.metrics.register_gauge("wal", durable.lag)
 
     def _on_update(self, event) -> None:
         evicted = self.cache.handle_update(event)
@@ -136,32 +182,21 @@ class QueryService:
                 self.metrics.record_request(elapsed, cache_hit=True)
                 return ServiceResult(cached, True, elapsed)
         timeout = timeout if timeout is not None else self.default_timeout
-        try:
-            if entity_type is None:
-                explain = self.pool.execute(
-                    lambda engine: engine.explain_topk(entity, relation, k, direction),
-                    timeout=timeout,
-                )
-                result = explain.result
-            else:
-                explain = None
-                result = self.pool.execute(
-                    lambda engine: (
-                        engine.topk_tails(entity, relation, k, entity_type)
-                        if direction == "tail"
-                        else engine.topk_heads(entity, relation, k, entity_type)
+
+        if entity_type is None:
+            def run(engine):
+                chaos.fire("service.query")
+                return self.ladder.explain_topk(engine, entity, relation, k, direction)
+        else:
+            def run(engine):
+                chaos.fire("service.query")
+                return (
+                    self.ladder.topk_typed(
+                        engine, entity, relation, k, direction, entity_type
                     ),
-                    timeout=timeout,
+                    None,
                 )
-        except QueueFullError:
-            self.metrics.increment("rejected")
-            raise
-        except DeadlineExceededError:
-            self.metrics.increment("deadline_exceeded")
-            raise
-        except ReproError:
-            self.metrics.increment("errors")
-            raise
+        result, explain = self._execute(run, timeout)
         if key is not None:
             self.cache.put(key, result)
         elapsed = time.perf_counter() - start
@@ -184,28 +219,59 @@ class QueryService:
         relation = self._relation_id(relation)
         timeout = timeout if timeout is not None else self.default_timeout
         start = time.perf_counter()
-        try:
-            estimate = self.pool.execute(
-                lambda engine: (
-                    engine.aggregate_tails(entity, relation, kind, attribute, **kwargs)
-                    if direction == "tail"
-                    else engine.aggregate_heads(
-                        entity, relation, kind, attribute, **kwargs
-                    )
-                ),
-                timeout=timeout,
+
+        def run(engine):
+            chaos.fire("service.query")
+            return self.ladder.aggregate(
+                engine, entity, relation, kind, attribute, direction, **kwargs
             )
+
+        estimate = self._execute(run, timeout)
+        self.metrics.record_request(time.perf_counter() - start, cache_hit=False)
+        return estimate
+
+    # -- guarded execution -------------------------------------------------
+
+    def _execute(self, fn, timeout: float | None):
+        """Run ``fn`` on a pooled engine behind the circuit breaker.
+
+        The breaker records only *backend* failures: deadline misses,
+        worker crashes (:class:`TransientServiceError`) and unexpected
+        exceptions. Client errors (bad query → ``ReproError`` subtypes
+        like ``QueryError``) and backpressure (``QueueFullError``) pass
+        through without an outcome — user mistakes and full queues must
+        not open the circuit.
+        """
+        try:
+            self.breaker.allow()
+        except CircuitOpenError:
+            self.metrics.increment("breaker_rejections")
+            self.metrics.increment("rejected")
+            raise
+        try:
+            result = self.pool.execute(fn, timeout=timeout)
         except QueueFullError:
+            self.breaker.record_ignored()
             self.metrics.increment("rejected")
             raise
         except DeadlineExceededError:
+            self.breaker.record_failure()
             self.metrics.increment("deadline_exceeded")
             raise
-        except ReproError:
+        except TransientServiceError:
+            self.breaker.record_failure()
             self.metrics.increment("errors")
             raise
-        self.metrics.record_request(time.perf_counter() - start, cache_hit=False)
-        return estimate
+        except ReproError:
+            self.breaker.record_ignored()
+            self.metrics.increment("errors")
+            raise
+        except BaseException:
+            self.breaker.record_failure()
+            self.metrics.increment("errors")
+            raise
+        self.breaker.record_success()
+        return result
 
     # -- name resolution ---------------------------------------------------
 
@@ -224,12 +290,34 @@ class QueryService:
     def healthy(self) -> bool:
         return not self._closed
 
+    def health(self) -> dict:
+        """The ``/healthz`` body: liveness plus fault-tolerance state."""
+        degradation = self.ladder.levels()
+        status = "closed" if self._closed else (
+            "degraded"
+            if any(level["level"] > 0 for level in degradation)
+            or self.breaker.state != "closed"
+            else "ok"
+        )
+        body = {
+            "status": status,
+            "queue_depth": self.pool.queue_depth,
+            "workers": self.pool.worker_states(),
+            "breaker": self.breaker.snapshot(),
+            "degradation": degradation,
+            "watchdog": self.watchdog.snapshot(),
+        }
+        if self._wal is not None:
+            body["wal"] = self._wal.lag()
+        return body
+
     def metrics_snapshot(self) -> dict:
         return self.metrics.snapshot()
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            self.watchdog.stop()
             self.pool.shutdown()
 
     def __enter__(self) -> "QueryService":
@@ -278,7 +366,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, exc: Exception):
         status = _status_of(exc)
         headers = []
-        if isinstance(exc, QueueFullError):
+        if isinstance(exc, (QueueFullError, CircuitOpenError)):
             headers.append(("Retry-After", f"{exc.retry_after:.3f}"))
         self._send_json(
             status, {"error": type(exc).__name__, "detail": str(exc)}, headers
@@ -299,11 +387,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             elif url.path == "/healthz":
                 service = self.server.service
                 self._send_json(
-                    200 if service.healthy() else 503,
-                    {
-                        "status": "ok" if service.healthy() else "closed",
-                        "queue_depth": service.pool.queue_depth,
-                    },
+                    200 if service.healthy() else 503, service.health()
                 )
             else:
                 self._send_json(404, {"error": "NotFound", "detail": url.path})

@@ -1,0 +1,91 @@
+"""Fixtures for the fault-tolerance tests.
+
+Two engine factories: ``make_engine`` (frozen pretrained embedding, same
+deterministic world as the serving tests — cheap, for service/chaos
+tests) and ``make_trainable_engine`` (a small trained TransE — required
+by the WAL/recovery tests, whose updates must run real local SGD).
+Every test leaves the global chaos controller deactivated.
+"""
+
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.embedding.trainer import TrainConfig, train_model
+from repro.kg.generators import movielens_like
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.resilience import chaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_chaos():
+    yield
+    chaos.install(None)
+
+
+def _world():
+    return movielens_like(
+        num_users=120,
+        num_movies=260,
+        num_genres=8,
+        num_tags=24,
+        num_ratings=2400,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return _world()
+
+
+@pytest.fixture
+def make_engine():
+    def factory(index: str = "cracking") -> QueryEngine:
+        graph, world = _world()
+        model = PretrainedEmbedding.from_world(graph, world, dim=32, seed=0)
+        return QueryEngine.from_graph(
+            graph, EngineConfig(index=index, epsilon=0.5), model=model
+        )
+
+    return factory
+
+
+@pytest.fixture
+def engine(make_engine):
+    return make_engine()
+
+
+@pytest.fixture(scope="session")
+def _trained():
+    graph, _ = movielens_like(
+        num_users=40, num_movies=80, num_genres=5, num_tags=10, num_ratings=600,
+        seed=3,
+    )
+    model = train_model(graph, TrainConfig(dim=12, epochs=8, seed=0)).model
+    return graph, model
+
+
+@pytest.fixture
+def make_trainable_engine(_trained):
+    """A *fresh* engine per call over the session-trained model: graph
+    copies come from re-generating the world (cheap), the trained model
+    is re-wrapped so its matrices are private to the engine."""
+    from repro.embedding.transe import TransE
+
+    _, model_proto = _trained
+
+    def factory(index: str = "cracking") -> QueryEngine:
+        graph, _ = movielens_like(
+            num_users=40, num_movies=80, num_genres=5, num_tags=10, num_ratings=600,
+            seed=3,
+        )
+        model = TransE(
+            graph.num_entities, graph.num_relations, dim=model_proto.dim, seed=0
+        )
+        model._entities[:] = model_proto.entity_vectors()
+        model._relations[:] = model_proto.relation_vectors()
+        return QueryEngine.from_graph(
+            graph, EngineConfig(index=index, epsilon=0.5), model=model
+        )
+
+    return factory

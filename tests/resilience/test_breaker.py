@@ -1,0 +1,123 @@
+"""Unit tests for the circuit breaker (injected clock, no sleeping)."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(clock, **kwargs):
+    defaults = dict(
+        failure_threshold=0.5, window=10, min_volume=4, cooldown=1.0, clock=clock
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+def test_stays_closed_below_threshold():
+    breaker = make(Clock())
+    for _ in range(20):
+        breaker.allow()
+        breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_opens_at_failure_rate_and_rejects_with_retry_after():
+    clock = Clock()
+    breaker = make(clock)
+    for _ in range(2):
+        breaker.record_success()
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(0.25)
+    with pytest.raises(CircuitOpenError) as excinfo:
+        breaker.allow()
+    assert excinfo.value.retry_after == pytest.approx(0.75, abs=0.01)
+
+
+def test_min_volume_prevents_tripping_on_thin_evidence():
+    breaker = make(Clock(), min_volume=6)
+    for _ in range(5):
+        breaker.record_failure()  # 100% failure but below min volume
+    assert breaker.state == CLOSED
+
+
+def test_half_open_probe_success_closes():
+    clock = Clock()
+    breaker = make(clock)
+    for _ in range(4):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(1.0)
+    assert breaker.state == HALF_OPEN
+    breaker.allow()  # the probe
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()  # only one probe admitted
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    breaker.allow()  # and the window was cleared
+    assert breaker.snapshot()["window_size"] == 0
+
+
+def test_half_open_probe_failure_reopens():
+    clock = Clock()
+    breaker = make(clock)
+    for _ in range(4):
+        breaker.record_failure()
+    clock.advance(1.0)
+    breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+
+
+def test_record_ignored_releases_a_probe():
+    clock = Clock()
+    breaker = make(clock)
+    for _ in range(4):
+        breaker.record_failure()
+    clock.advance(1.0)
+    breaker.allow()
+    breaker.record_ignored()  # e.g. the probe hit a full queue
+    breaker.allow()  # probe slot is free again
+    assert breaker.state == HALF_OPEN
+
+
+def test_call_classifies_exceptions():
+    clock = Clock()
+    breaker = make(clock)
+
+    def fail():
+        raise ValueError("backend broke")
+
+    for _ in range(4):
+        with pytest.raises(ValueError):
+            breaker.call(fail, failure_types=(ValueError,))
+    assert breaker.state == OPEN
+
+
+def test_transitions_counter_and_callback():
+    seen = []
+    clock = Clock()
+    breaker = make(clock, on_transition=lambda old, new: seen.append((old, new)))
+    for _ in range(4):
+        breaker.record_failure()
+    clock.advance(1.0)
+    breaker.allow()
+    breaker.record_success()
+    assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+    assert breaker.transitions == 3

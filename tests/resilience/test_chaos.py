@@ -1,0 +1,91 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.resilience.chaos import ChaosController, activate, fire, install
+
+
+def test_inactive_fire_is_a_noop():
+    fire("service.query")  # no controller installed: must not raise
+
+
+def test_rule_fires_configured_exception():
+    controller = ChaosController(seed=0)
+    controller.on("p", exc=InjectedFaultError, message="kaboom")
+    with pytest.raises(InjectedFaultError, match="kaboom"):
+        controller.fire("p")
+    assert controller.fired("p") == 1
+    assert controller.journal[0].point == "p"
+
+
+def test_after_and_max_fires_schedule_exact_hits():
+    controller = ChaosController(seed=0)
+    rule = controller.on("p", exc=InjectedFaultError, after=2, max_fires=2)
+    fired = []
+    for hit in range(1, 7):
+        try:
+            controller.fire("p")
+        except InjectedFaultError:
+            fired.append(hit)
+    assert fired == [3, 4]  # fires on hits 3 and 4, then exhausted
+    assert rule.hits == 6 and rule.fires == 2
+
+
+def test_probability_is_seeded_and_reproducible():
+    def run(seed):
+        controller = ChaosController(seed=seed)
+        controller.on("p", exc=InjectedFaultError, probability=0.3, max_fires=None)
+        pattern = []
+        for _ in range(50):
+            try:
+                controller.fire("p")
+                pattern.append(0)
+            except InjectedFaultError:
+                pattern.append(1)
+        return pattern
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+    assert 0 < sum(run(7)) < 50
+
+
+def test_delay_injects_latency_without_raising():
+    controller = ChaosController(seed=0)
+    controller.on("slow", delay=0.05)
+    start = time.perf_counter()
+    controller.fire("slow")
+    assert time.perf_counter() - start >= 0.045
+    controller.fire("slow")  # max_fires=1: second hit is free
+
+
+def test_activate_installs_and_always_uninstalls():
+    controller = ChaosController(seed=0)
+    controller.on("p", exc=InjectedFaultError)
+    with pytest.raises(InjectedFaultError):
+        with activate(controller):
+            fire("p")
+    fire("p")  # deactivated again
+
+
+def test_global_fire_routes_to_installed_controller():
+    controller = ChaosController(seed=0)
+    controller.on("p", exc=InjectedFaultError)
+    install(controller)
+    try:
+        with pytest.raises(InjectedFaultError):
+            fire("p")
+    finally:
+        install(None)
+
+
+def test_reset_clears_rules_and_journal():
+    controller = ChaosController(seed=0)
+    controller.on("p", exc=InjectedFaultError)
+    with pytest.raises(InjectedFaultError):
+        controller.fire("p")
+    controller.reset()
+    controller.fire("p")  # rule gone
+    assert controller.fired() == 0 and controller.hits("p") == 0

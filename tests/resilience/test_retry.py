@@ -1,0 +1,85 @@
+"""Unit tests for the client retry policy (injected sleep, no waiting)."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    QueryError,
+    QueueFullError,
+    TransientServiceError,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+def make(**kwargs):
+    sleeps = []
+    defaults = dict(max_attempts=4, base_delay=0.01, jitter=0.0, seed=0,
+                    sleep=sleeps.append)
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults), sleeps
+
+
+def test_retries_transient_failures_until_success():
+    policy, sleeps = make()
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise TransientServiceError("worker crashed")
+        return "ok"
+
+    assert policy.run(flaky) == "ok"
+    assert len(attempts) == 3
+    assert policy.retries == 2
+    assert len(sleeps) == 2
+
+
+def test_gives_up_after_max_attempts():
+    policy, sleeps = make(max_attempts=3)
+
+    def always():
+        raise QueueFullError(retry_after=0.02)
+
+    with pytest.raises(QueueFullError):
+        policy.run(always)
+    assert len(sleeps) == 2  # two backoffs, then the final raise
+
+
+def test_non_retryable_errors_propagate_immediately():
+    policy, sleeps = make()
+
+    def bad_query():
+        raise QueryError("k must be positive")
+
+    with pytest.raises(QueryError):
+        policy.run(bad_query)
+    assert sleeps == []
+
+
+def test_backoff_is_exponential_and_capped():
+    policy, _ = make(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+    delays = [policy.delay(attempt) for attempt in range(4)]
+    assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5])
+
+
+def test_server_suggested_retry_after_wins():
+    policy, _ = make()
+    exc = CircuitOpenError(retry_after=0.777)
+    assert policy.delay(0, exc) == pytest.approx(0.777)
+
+
+def test_jitter_is_seeded_and_bounded():
+    a = RetryPolicy(jitter=0.5, seed=42, sleep=lambda _ : None)
+    b = RetryPolicy(jitter=0.5, seed=42, sleep=lambda _ : None)
+    da = [a.delay(i) for i in range(8)]
+    db = [b.delay(i) for i in range(8)]
+    assert da == db  # same seed, same schedule
+    for i, d in enumerate(da):
+        base = min(a.max_delay, a.base_delay * a.multiplier**i)
+        assert base <= d <= base * 1.5
+
+
+def test_max_attempts_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)

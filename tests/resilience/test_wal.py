@@ -1,0 +1,187 @@
+"""Unit tests for the write-ahead log and the durable updater."""
+
+import json
+
+import pytest
+
+from repro.dynamic.updater import OnlineUpdater
+from repro.errors import WALError
+from repro.persistence import save_engine
+from repro.resilience.chaos import ChaosController, activate
+from repro.resilience.wal import (
+    WAL_FILENAME,
+    DurableUpdater,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+)
+
+
+def test_record_roundtrip_and_checksum():
+    payload = {"lsn": 3, "type": "begin", "op": "add_edge", "args": {"head": 1}}
+    line = encode_record(payload)
+    assert decode_record(line) == payload
+    with pytest.raises(ValueError):
+        decode_record(line.replace('"head": 1', '"head": 2'))
+
+
+def test_append_and_read_records(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    with WriteAheadLog(path) as wal:
+        wal.append({"lsn": 1, "type": "begin"})
+        wal.append({"lsn": 1, "type": "commit"})
+    records, torn = WriteAheadLog.read_records(path)
+    assert torn is False
+    assert [r["type"] for r in records] == ["begin", "commit"]
+
+
+def test_torn_tail_is_dropped_silently(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    with WriteAheadLog(path) as wal:
+        wal.append({"lsn": 1, "type": "commit"})
+        wal.append({"lsn": 2, "type": "commit"})
+    # Simulate a crash mid-write: chop the final line in half.
+    text = path.read_text()
+    path.write_text(text[: len(text) - 20])
+    records, torn = WriteAheadLog.read_records(path)
+    assert torn is True
+    assert [r["lsn"] for r in records] == [1]
+
+
+def test_corruption_before_the_tail_raises(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    with WriteAheadLog(path) as wal:
+        wal.append({"lsn": 1, "type": "commit"})
+        wal.append({"lsn": 2, "type": "commit"})
+    lines = path.read_text().splitlines()
+    lines[0] = lines[0][:-5] + 'junk"'
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(WALError, match="not the tail"):
+        WriteAheadLog.read_records(path)
+
+
+def test_reset_truncates(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    wal = WriteAheadLog(path)
+    wal.append({"lsn": 1, "type": "commit"})
+    wal.reset()
+    assert WriteAheadLog.read_records(path) == ([], False)
+    wal.close()
+
+
+def test_missing_file_reads_empty(tmp_path):
+    assert WriteAheadLog.read_records(tmp_path / "nope.wal") == ([], False)
+
+
+# -- DurableUpdater ----------------------------------------------------------
+
+
+def _durable(engine, directory):
+    save_engine(engine, directory)
+    return DurableUpdater(OnlineUpdater(engine, seed=0), directory)
+
+
+def test_update_writes_begin_then_commit_with_effects(
+    make_trainable_engine, tmp_path
+):
+    engine = make_trainable_engine()
+    artifact = tmp_path / "artifact"
+    durable = _durable(engine, artifact)
+    likes = engine.graph.relations.id_of("likes")
+    user = engine.graph.entities.id_of("user:0")
+    movie = engine.graph.entities.id_of("movie:3")
+
+    report = durable.add_edge(user, likes, movie)
+    assert report.entities_touched  # the wrapped updater really ran
+
+    records, torn = WriteAheadLog.read_records(artifact / WAL_FILENAME)
+    assert torn is False
+    assert [r["type"] for r in records] == ["begin", "commit"]
+    begin, commit = records
+    assert begin["lsn"] == commit["lsn"] == 1
+    assert begin["op"] == commit["op"] == "add_edge"
+    assert begin["args"] == {"head": user, "relation": likes, "tail": movie}
+    # The commit carries the physical effects: exact post-update rows.
+    effects = commit["effects"]
+    assert set(effects) == {"vectors", "relations", "reindexed"}
+    assert effects["vectors"], "local SGD must have moved at least one entity"
+    dim = engine.model.dim
+    assert all(len(row) == dim for row in effects["vectors"].values())
+
+
+def test_lag_reports_pending_records_and_checkpoint_clears(
+    make_trainable_engine, tmp_path
+):
+    engine = make_trainable_engine()
+    artifact = tmp_path / "artifact"
+    durable = _durable(engine, artifact)
+    likes = engine.graph.relations.id_of("likes")
+    graph = engine.graph
+    for i in range(3):
+        durable.add_edge(
+            graph.entities.id_of(f"user:{i}"), likes, graph.entities.id_of("movie:1")
+        )
+    lag = durable.lag()
+    assert lag["pending_records"] == 3
+    assert lag["last_lsn"] == 3
+    assert lag["bytes"] > 0
+
+    durable.checkpoint()
+    lag = durable.lag()
+    assert lag["pending_records"] == 0
+    assert lag["bytes"] == 0
+    # The snapshot remembers the LSN it absorbed.
+    meta = json.loads((artifact / "meta.json").read_text())
+    assert meta["wal"]["last_lsn"] == 3
+    # And the sequence continues from there.
+    durable.add_edge(
+        graph.entities.id_of("user:9"), likes, graph.entities.id_of("movie:2")
+    )
+    records, _ = WriteAheadLog.read_records(artifact / WAL_FILENAME)
+    assert records[0]["lsn"] == 4
+
+
+def test_injected_commit_failure_freezes_updates_until_checkpoint(
+    make_trainable_engine, tmp_path
+):
+    engine = make_trainable_engine()
+    artifact = tmp_path / "artifact"
+    durable = _durable(engine, artifact)
+    likes = engine.graph.relations.id_of("likes")
+    graph = engine.graph
+
+    controller = ChaosController(seed=0)
+    # Fire on the second append of the *next* update — its commit.
+    controller.on("wal.append", exc=WALError, message="disk full", after=1, max_fires=1)
+    with activate(controller):
+        with pytest.raises(WALError, match="disk full"):
+            durable.add_edge(
+                graph.entities.id_of("user:0"), likes, graph.entities.id_of("movie:0")
+            )
+    assert durable.needs_checkpoint
+    # Fail-safe: no further updates while memory is ahead of the log.
+    with pytest.raises(WALError, match="checkpoint"):
+        durable.add_edge(
+            graph.entities.id_of("user:1"), likes, graph.entities.id_of("movie:1")
+        )
+    durable.checkpoint()  # snapshots the (already applied) in-memory state
+    assert not durable.needs_checkpoint
+    durable.add_edge(
+        graph.entities.id_of("user:1"), likes, graph.entities.id_of("movie:1")
+    )
+
+
+def test_lsn_resumes_from_existing_wal(make_trainable_engine, tmp_path):
+    engine = make_trainable_engine()
+    artifact = tmp_path / "artifact"
+    durable = _durable(engine, artifact)
+    likes = engine.graph.relations.id_of("likes")
+    graph = engine.graph
+    durable.add_edge(graph.entities.id_of("user:0"), likes, graph.entities.id_of("movie:0"))
+    durable.close()
+
+    reopened = DurableUpdater(OnlineUpdater(engine, seed=0), artifact)
+    assert reopened.lag()["last_lsn"] == 1
+    reopened.add_edge(graph.entities.id_of("user:1"), likes, graph.entities.id_of("movie:1"))
+    records, _ = WriteAheadLog.read_records(artifact / WAL_FILENAME)
+    assert [r["lsn"] for r in records] == [1, 1, 2, 2]

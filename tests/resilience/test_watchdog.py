@@ -1,0 +1,181 @@
+"""Watchdog tests: dead/hung workers are detected, replaced, and their
+engines validated before re-entering rotation. Fake engines throughout —
+the pool and watchdog never look inside an engine except through the
+validator."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import IndexError_, TransientServiceError, WorkerCrashError
+from repro.resilience.chaos import ChaosController, activate
+from repro.resilience.watchdog import PoolWatchdog
+from repro.service.metrics import ServingMetrics
+from repro.service.pool import EnginePool
+
+
+class FakeEngine:
+    def __init__(self, name="e"):
+        self.name = name
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def test_clean_crash_loses_no_requests_and_sweep_respawns():
+    pool = EnginePool(FakeEngine(), workers=2, max_queue=16)
+    try:
+        watchdog = PoolWatchdog(pool, validate=lambda engine: None)
+        controller = ChaosController(seed=0)
+        controller.on("pool.worker", exc=WorkerCrashError, max_fires=1)
+        with activate(controller):
+            # The crash fires before a request is taken, so every
+            # request is still served by the surviving worker.
+            assert [pool.execute(lambda e: e.name) for _ in range(5)] == ["e"] * 5
+        assert _wait_until(
+            lambda: any(w["dead"] for w in pool.worker_states())
+        ), "crashed worker never marked dead"
+        report = watchdog.sweep()
+        assert report["restarted"] == 1
+        assert report["reclaimed"] == 0  # clean crash: no engine in hand
+        states = pool.worker_states()
+        assert sum(1 for w in states if w["alive"]) == 2
+        assert not any(w["dead"] for w in states)
+    finally:
+        pool.shutdown()
+
+
+def test_dirty_crash_fails_the_request_and_strands_the_engine():
+    pool = EnginePool(FakeEngine(), workers=2, max_queue=16)
+    try:
+        repaired = []
+        watchdog = PoolWatchdog(pool, validate=repaired.append)
+        controller = ChaosController(seed=0)
+        controller.on("pool.worker.dirty", exc=WorkerCrashError, max_fires=1)
+        with activate(controller):
+            with pytest.raises(TransientServiceError, match="crashed"):
+                pool.execute(lambda e: e.name, timeout=5.0)
+        assert _wait_until(
+            lambda: any(w["dead"] for w in pool.worker_states())
+        )
+        report = watchdog.sweep()
+        # The single engine was checked out by the dead worker: it must
+        # be validated and reclaimed or the pool is wedged forever.
+        assert report == {"restarted": 1, "reclaimed": 1, "quarantined": 0, "hung": 0}
+        assert len(repaired) == 1
+        assert pool.execute(lambda e: e.name, timeout=5.0) == "e"
+    finally:
+        pool.shutdown()
+
+
+def test_quarantine_keeps_a_bad_engine_out_of_rotation():
+    engines = [FakeEngine("good"), FakeEngine("bad")]
+    pool = EnginePool(engines, workers=2, max_queue=16)
+    try:
+        def validate(engine):
+            if engine.name == "bad":
+                raise IndexError_("beyond repair")
+
+        watchdog = PoolWatchdog(pool, validate=validate)
+        controller = ChaosController(seed=0)
+        # Both engines start in the free list; crash whichever query
+        # checks out "bad" (queries alternate, so fire on every call
+        # until the bad engine is the one in hand).
+        controller.on(
+            "pool.worker.dirty", exc=WorkerCrashError, probability=1.0, max_fires=2
+        )
+        stranded = 0
+        with activate(controller):
+            for _ in range(2):
+                try:
+                    pool.execute(lambda e: e.name, timeout=5.0)
+                except TransientServiceError:
+                    stranded += 1
+        assert stranded == 2  # both replicas stranded by dirty crashes
+        _wait_until(lambda: sum(w["dead"] for w in pool.worker_states()) == 2)
+        report = watchdog.sweep()
+        assert report["quarantined"] == 1
+        assert report["reclaimed"] == 1
+        # Only the good replica serves from here on.
+        assert {pool.execute(lambda e: e.name, timeout=5.0) for _ in range(4)} == {"good"}
+    finally:
+        pool.shutdown()
+
+
+def test_hung_worker_is_abandoned_and_its_engine_returns_as_suspect():
+    pool = EnginePool([FakeEngine("a"), FakeEngine("b")], workers=2, max_queue=16)
+    metrics = ServingMetrics()
+    try:
+        watchdog = PoolWatchdog(
+            pool, hang_timeout=0.02, validate=lambda e: None, metrics=metrics
+        )
+        release = threading.Event()
+        future = pool.submit(lambda e: release.wait(10) and e.name)
+        assert _wait_until(
+            lambda: any(w["busy_seconds"] is not None for w in pool.worker_states())
+        )
+        time.sleep(0.05)  # let the request age past hang_timeout
+        report = watchdog.sweep()
+        assert report["hung"] == 1
+        # A replacement exists while the straggler finishes its request.
+        assert sum(1 for w in pool.worker_states() if w["alive"]) == 3
+        release.set()
+        assert future.result(timeout=5.0) in ("a", "b")
+        assert _wait_until(
+            lambda: not any(
+                w["abandoned"] and w["alive"] for w in pool.worker_states()
+            )
+        )
+        report = watchdog.sweep()
+        assert report["reclaimed"] == 1  # the suspect engine, validated
+        assert sum(1 for w in pool.worker_states() if w["alive"]) == 2
+        counters = metrics.snapshot()["counters"]
+        assert counters["workers_hung"] == 1
+    finally:
+        pool.shutdown()
+
+
+def test_background_thread_sweeps_on_its_own():
+    pool = EnginePool(FakeEngine(), workers=2, max_queue=16)
+    metrics = ServingMetrics()
+    try:
+        controller = ChaosController(seed=0)
+        controller.on("pool.worker", exc=WorkerCrashError, max_fires=1)
+        with activate(controller):
+            pool.execute(lambda e: e.name)  # trips the crash rule
+            _wait_until(lambda: any(w["dead"] for w in pool.worker_states()))
+        with PoolWatchdog(
+            pool, interval=0.01, validate=lambda e: None, metrics=metrics
+        ) as watchdog:
+            assert _wait_until(lambda: watchdog.snapshot()["restarts"] >= 1)
+        snap = watchdog.snapshot()
+        assert snap["running"] is False
+        assert snap["sweeps"] >= 1
+        assert metrics.snapshot()["counters"]["worker_restarts"] >= 1
+    finally:
+        pool.shutdown()
+
+
+def test_sweep_errors_do_not_kill_the_watchdog_thread():
+    class ExplodingPool:
+        def __init__(self):
+            self.calls = 0
+
+        def reap(self, validate=None):
+            self.calls += 1
+            raise RuntimeError("sweep boom")
+
+        def abandon_hung_workers(self, hang_timeout):
+            return 0
+
+    pool = ExplodingPool()
+    with PoolWatchdog(pool, interval=0.01) as watchdog:
+        assert _wait_until(lambda: pool.calls >= 3)
+        assert watchdog.snapshot()["running"] is True

@@ -109,3 +109,21 @@ def test_constructor_validation():
         EnginePool(FakeEngine(), workers=0)
     with pytest.raises(ServiceError):
         EnginePool(FakeEngine(), workers=1, max_queue=0)
+
+
+def test_shutdown_fails_still_queued_futures():
+    """Requests sitting in the queue at shutdown must fail promptly with
+    ServiceError, not hang their callers forever."""
+    release = threading.Event()
+    pool = EnginePool(FakeEngine(), workers=1, max_queue=8)
+    blocker = pool.submit(lambda engine: release.wait(5) and "done")
+    time.sleep(0.05)  # the only worker is now inside the blocker
+    queued = [pool.submit(lambda engine: "never") for _ in range(3)]
+
+    pool.shutdown(wait=False)  # while the worker is still busy
+    for future in queued:
+        with pytest.raises(ServiceError, match="shut down"):
+            future.result(timeout=5)
+
+    release.set()
+    assert blocker.result(timeout=5) == "done"  # in-flight work completes

@@ -120,3 +120,33 @@ def test_bench_subcommand(capsys):
     code = main(["bench", "--figure", "table1", "--scale", "0.05"])
     assert code == 0
     assert "Table I" in capsys.readouterr().out
+
+
+def test_recover_replays_and_compacts(artifact_dir, tmp_path, capsys):
+    import shutil
+
+    import numpy as np
+
+    from repro.dynamic.updater import OnlineUpdater
+    from repro.persistence import load_engine
+    from repro.resilience.wal import WAL_FILENAME, DurableUpdater
+
+    artifact = tmp_path / "artifact"
+    shutil.copytree(artifact_dir, artifact)
+    engine = load_engine(artifact)
+    durable = DurableUpdater(OnlineUpdater(engine), artifact)
+    vector = np.array(engine.model.entity_vectors()[0]) * 1.05
+    durable.set_entity_vector(0, vector)
+    durable.close()
+
+    assert main(["recover", "--artifact", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "replayed 1 update(s)" in out
+
+    assert main(["recover", "--artifact", str(artifact), "--compact"]) == 0
+    out = capsys.readouterr().out
+    assert "compacted: snapshot now at lsn 1" in out
+    assert (artifact / WAL_FILENAME).stat().st_size == 0
+    # The compacted snapshot carries the replayed state.
+    recovered = load_engine(artifact)
+    assert np.allclose(recovered.model.entity_vectors()[0], vector)

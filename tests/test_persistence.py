@@ -88,3 +88,86 @@ def test_aggregates_survive_roundtrip(tmp_path, engine):
     a = engine.aggregate_tails(user, likes, "avg", "year", p_tau=0.2)
     b = restored.aggregate_tails(user, likes, "avg", "year", p_tau=0.2)
     assert a.value == pytest.approx(b.value)
+
+
+# -- atomicity and torn-artifact rejection ----------------------------------
+
+
+def test_save_is_atomic_when_writing_fails(tmp_path, engine, monkeypatch):
+    """A crash mid-save must leave the previous artifact untouched and
+    no temporary directory behind."""
+    import repro.persistence as persistence
+
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    before = sorted(p.name for p in artifact.iterdir())
+
+    def explode(engine, path, extra_meta):
+        (path / "meta.json").write_text("{}")  # partial write, then crash
+        raise OSError("disk died mid-save")
+
+    monkeypatch.setattr(persistence, "_write_artifacts", explode)
+    with pytest.raises(OSError, match="disk died"):
+        save_engine(engine, artifact)
+
+    assert sorted(p.name for p in artifact.iterdir()) == before
+    assert [p.name for p in tmp_path.iterdir()] == ["artifact"]  # no .tmp leftovers
+    load_engine(artifact)  # and the old artifact still loads
+
+
+def test_overwrite_replaces_the_directory_wholesale(tmp_path, engine):
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    (artifact / "stale.bin").write_text("left over from another life")
+    save_engine(engine, artifact)
+    assert not (artifact / "stale.bin").exists()
+    load_engine(artifact)
+
+
+def test_keep_carries_named_files_across_a_save(tmp_path, engine):
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    (artifact / "updates.wal").write_text("precious log lines\n")
+    save_engine(engine, artifact, keep={"updates.wal"})
+    assert (artifact / "updates.wal").read_text() == "precious log lines\n"
+
+
+def test_load_rejects_missing_artifact_with_clear_message(tmp_path):
+    with pytest.raises(ReproError, match="meta.json is missing"):
+        load_engine(tmp_path / "nope")
+
+
+def test_load_rejects_invalid_meta_json(tmp_path, engine):
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    (artifact / "meta.json").write_text("{not json")
+    with pytest.raises(ReproError, match="not valid JSON"):
+        load_engine(artifact)
+
+
+def test_load_rejects_missing_format_version(tmp_path, engine):
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    meta = json.loads((artifact / "meta.json").read_text())
+    del meta["format_version"]
+    (artifact / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(ReproError, match="format version"):
+        load_engine(artifact)
+
+
+def test_load_rejects_missing_required_keys(tmp_path, engine):
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    meta = json.loads((artifact / "meta.json").read_text())
+    del meta["alpha"], meta["index"]
+    (artifact / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(ReproError, match="missing required keys"):
+        load_engine(artifact)
+
+
+def test_load_rejects_torn_artifact_without_arrays(tmp_path, engine):
+    artifact = tmp_path / "artifact"
+    save_engine(engine, artifact)
+    (artifact / "arrays.npz").unlink()
+    with pytest.raises(ReproError, match="torn"):
+        load_engine(artifact)
