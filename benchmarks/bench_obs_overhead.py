@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the observability layer's cost.
+
+``test_query_tracing_{off,on}`` give pytest-benchmark statistics for a
+warm top-k query in each mode (the difference is the per-query tracing
+cost); the span/metric micro benches isolate the primitive operations.
+The pass/fail overhead gate lives in ``python -m repro.bench.obs
+--check`` (run by CI), not here — wall-clock asserts inside a shared
+benchmark process are noise-prone.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench.datasets import movie_dataset
+from repro.bench.methods import RTreeMethod
+from repro.bench.workloads import make_workload
+from repro.obs import trace
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def dataset(scale):
+    return movie_dataset(scale)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return make_workload(dataset.graph, 64, seed=9)
+
+
+def _warmed(dataset, workload):
+    method = RTreeMethod(dataset, "cracking")
+    for query in workload[:32]:
+        method.query(query, 5)
+    return method
+
+
+@pytest.fixture
+def tracing_off():
+    trace.disable()
+    yield
+
+
+@pytest.fixture
+def tracing_on():
+    trace.enable()
+    yield
+    trace.disable()
+
+
+def test_query_tracing_off(benchmark, dataset, workload, tracing_off):
+    method = _warmed(dataset, workload)
+    cycle = itertools.cycle(workload[:32])
+    benchmark(lambda: method.query(next(cycle), 5))
+
+
+def test_query_tracing_on(benchmark, dataset, workload, tracing_on):
+    method = _warmed(dataset, workload)
+    cycle = itertools.cycle(workload[:32])
+    benchmark(lambda: method.query(next(cycle), 5))
+
+
+def test_noop_span_entry(benchmark, tracing_off):
+    def noop_site():
+        with trace.span("bench.noop"):
+            pass
+
+    benchmark(noop_site)
+
+
+def test_recording_span_entry(benchmark, tracing_on):
+    def recording_site():
+        with trace.span("bench.root"):
+            with trace.span("bench.child"):
+                pass
+
+    benchmark(recording_site)
+
+
+def test_histogram_observe(benchmark):
+    hist = Histogram()
+    benchmark(lambda: hist.observe(0.0042))
+
+
+def test_registry_prometheus_render(benchmark):
+    registry = MetricsRegistry()
+    for name in ("requests", "errors", "cache_hits"):
+        registry.counter(name).inc(100)
+    hist = registry.histogram("latency_seconds")
+    for i in range(1000):
+        hist.observe(0.0001 * (i % 100 + 1))
+    benchmark(lambda: registry.to_prometheus())

@@ -9,6 +9,7 @@ query      top-k predictive query against a saved artifact
 aggregate  aggregate query against a saved artifact
 serve      run the concurrent query service (JSON HTTP API)
 replay     fire a synthetic workload at a service and report latency
+trace      replay one query with tracing on and print the span tree
 recover    replay an artifact's write-ahead log after a crash
 bench      alias for ``python -m repro.bench``
 
@@ -84,6 +85,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-ttl", type=float, default=None)
     p.add_argument("--timeout", type=float, default=None,
                    help="default per-request deadline in seconds")
+    p.add_argument("--trace", action="store_true",
+                   help="enable request tracing and the /debug/traces endpoint")
+    p.add_argument("--trace-threshold", type=float, default=0.05,
+                   help="flight-recorder latency threshold in seconds")
+    p.add_argument("--trace-capacity", type=int, default=64,
+                   help="flight-recorder ring size")
+
+    p = sub.add_parser(
+        "trace", help="replay one query with tracing on and print the span tree"
+    )
+    p.add_argument("--artifact", required=True)
+    p.add_argument("--head")
+    p.add_argument("--tail")
+    p.add_argument("--relation", required=True)
+    p.add_argument("-k", type=int, default=5)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw trace record as JSON")
+    p.add_argument("--profile", action="store_true",
+                   help="also run the query under cProfile and print hot functions")
+    p.add_argument("--workers", type=int, default=1)
 
     p = sub.add_parser("replay", help="replay a synthetic workload at a service")
     p.add_argument("--artifact", required=True)
@@ -116,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "aggregate": _cmd_aggregate,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
         "replay": _cmd_replay,
         "recover": _cmd_recover,
         "bench": _cmd_bench,
@@ -256,9 +278,12 @@ def _cmd_aggregate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs import trace
     from repro.persistence import load_engine
     from repro.service.server import QueryService, serve_forever
 
+    if args.trace:
+        trace.enable()
     engine = load_engine(args.artifact)
     service = QueryService(
         engine,
@@ -267,8 +292,74 @@ def _cmd_serve(args) -> int:
         cache_capacity=args.cache_size,
         cache_ttl=args.cache_ttl,
         default_timeout=args.timeout,
+        trace_threshold=args.trace_threshold,
+        trace_capacity=args.trace_capacity,
     )
     serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import cProfile
+    import io
+    import json
+    import pstats
+
+    from repro.obs import trace
+    from repro.persistence import load_engine
+    from repro.service.server import QueryService
+
+    if (args.head is None) == (args.tail is None):
+        print("give exactly one of --head / --tail")
+        return 2
+    engine = load_engine(args.artifact)
+    entity = args.head if args.head is not None else args.tail
+    direction = "tail" if args.head is not None else "head"
+    records = []
+    profiler = cProfile.Profile() if args.profile else None
+    with QueryService(engine, workers=args.workers) as service:
+        trace.add_listener(records.append)
+        was_enabled = trace.enabled()
+        trace.enable()
+        try:
+            if profiler is not None:
+                profiler.enable()
+            # Mirror the HTTP request path: service call, probability
+            # scoring, JSON serialization — one trace end to end.
+            with trace.span("repro.trace") as sp:
+                sp.set_attribute("entity", entity)
+                sp.set_attribute("relation", args.relation)
+                detail = service.topk_detail(
+                    entity, args.relation, k=args.k, direction=direction
+                )
+                probabilities = service.engine.probabilities(detail.result)
+                with trace.span("http.serialize"):
+                    body = json.dumps(
+                        {
+                            "entities": list(detail.result.entities),
+                            "distances": list(detail.result.distances),
+                            "probabilities": list(probabilities),
+                        }
+                    )
+            if profiler is not None:
+                profiler.disable()
+        finally:
+            if not was_enabled:
+                trace.disable()
+            trace.remove_listener(records.append)
+    if not records:
+        print("no trace captured")
+        return 1
+    record = records[-1]
+    if args.json:
+        print(json.dumps(record.as_dict(), indent=2))
+    else:
+        print(trace.render(record))
+        print(f"\nresult: {body}")
+    if profiler is not None:
+        out = io.StringIO()
+        pstats.Stats(profiler, stream=out).sort_stats("cumulative").print_stats(15)
+        print(out.getvalue())
     return 0
 
 

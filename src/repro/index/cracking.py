@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.index.geometry import Rect
 from repro.index.rtree_base import RTreeBase
+from repro.obs import trace
 
 
 class CrackingRTree(RTreeBase):
@@ -25,7 +26,9 @@ class CrackingRTree(RTreeBase):
         Equivalent to ``refine(query)`` followed by ``search(query)``;
         kept as one operation because that is how the incremental
         algorithm is specified (qualified points are found during the
-        same top-down probing pass that cracks the nodes).
+        same top-down probing pass that cracks the nodes). Traced as an
+        ``index.crack`` span enclosing the refine and search spans.
         """
-        self.refine(query)
-        return self.search(query)
+        with trace.span("index.crack"):
+            self.refine(query)
+            return self.search(query)

@@ -30,6 +30,7 @@ from repro.index.node import FrontierEntry, InternalNode, LeafNode, TreeEntry
 from repro.index.partition import Partition
 from repro.index.stats import AccessCounters, IndexStats, StatsAccumulator
 from repro.index.store import PointStore
+from repro.obs import trace
 
 
 class RTreeBase:
@@ -103,11 +104,47 @@ class RTreeBase:
         """Incrementally expand the tree where ``query`` needs it.
 
         ``query=None`` expands everything (offline full bulk load).
+
+        With tracing enabled the expansion is wrapped in an
+        ``index.refine`` span recording the splits performed for this
+        call; disabled, the only cost is one global load.
         """
-        self.root = self._refine_entry(self.root, query)
+        if not trace.enabled():
+            self.root = self._refine_entry(self.root, query)
+            return
+        splits_before = self._splits_performed
+        with trace.span("index.refine") as span:
+            self.root = self._refine_entry(self.root, query)
+            span.set_attribute("splits", self._splits_performed - splits_before)
 
     def search(self, query: Rect) -> np.ndarray:
-        """Ids of all indexed points inside ``query`` (read-only)."""
+        """Ids of all indexed points inside ``query`` (read-only).
+
+        Traced as an ``index.search`` span carrying the node-access
+        deltas attributable to this call (internal/leaf/partition
+        elements touched, points examined, matches returned).
+        """
+        if not trace.enabled():
+            return self._search(query)
+        before = self.counters.snapshot()
+        with trace.span("index.search") as span:
+            result = self._search(query)
+            after = self.counters
+            span.set_attribute(
+                "internal_accesses", after.internal_accesses - before.internal_accesses
+            )
+            span.set_attribute("leaf_accesses", after.leaf_accesses - before.leaf_accesses)
+            span.set_attribute(
+                "partition_accesses",
+                after.partition_accesses - before.partition_accesses,
+            )
+            span.set_attribute(
+                "points_examined", after.points_examined - before.points_examined
+            )
+            span.set_attribute("matches", int(len(result)))
+        return result
+
+    def _search(self, query: Rect) -> np.ndarray:
         found: list[np.ndarray] = []
         stack: list[TreeEntry] = [self.root]
         while stack:
@@ -150,6 +187,19 @@ class RTreeBase:
         """
         if k < 1:
             raise IndexError_("k must be >= 1")
+        if not trace.enabled():
+            return self._probe(point, k)
+        before = self.counters.snapshot()
+        with trace.span("index.probe", k=k) as span:
+            result = self._probe(point, k)
+            after = self.counters
+            span.set_attribute(
+                "internal_accesses", after.internal_accesses - before.internal_accesses
+            )
+            span.set_attribute("seeds", int(len(result)))
+        return result
+
+    def _probe(self, point: np.ndarray, k: int) -> np.ndarray:
         point = np.asarray(point, dtype=np.float64)
         scopes: list[TreeEntry] = []
         entry: TreeEntry = self.root

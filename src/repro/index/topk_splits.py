@@ -29,6 +29,7 @@ from repro.index.node import FrontierEntry, InternalNode, TreeEntry
 from repro.index.partition import Partition
 from repro.index.rtree_base import RTreeBase
 from repro.index.store import PointStore
+from repro.obs import trace
 
 
 @dataclass(order=True)
@@ -68,8 +69,9 @@ class TopKSplitsRTree(RTreeBase):
     def crack_and_search(self, query: Rect):
         """Refine with A* split search for ``query`` and return the ids
         inside it (mirrors :meth:`CrackingRTree.crack_and_search`)."""
-        self.refine(query)
-        return self.search(query)
+        with trace.span("index.crack"):
+            self.refine(query)
+            return self.search(query)
 
     # -- strategy override ---------------------------------------------------
 
@@ -112,13 +114,17 @@ class TopKSplitsRTree(RTreeBase):
         )
         queue: list[_Candidate] = [initial]
         expansions = 0
+        considered = 0
         while queue:
             state = heapq.heappop(queue)
             advanced = self._advance_finished(node, state, query)
             if not advanced.pending:
+                self._note_astar(advanced, expansions, considered, False)
                 return advanced
             if expansions >= self.max_expansions:
-                return self._complete_greedily(node, advanced, query)
+                done = self._complete_greedily(node, advanced, query)
+                self._note_astar(done, expansions, considered, True)
+                return done
             expansions += 1
             part = advanced.pending[0]
             rest = advanced.pending[1:]
@@ -134,6 +140,7 @@ class TopKSplitsRTree(RTreeBase):
             for choice in choices:
                 low, high = part.apply_split(choice)
                 self._record_split(0.0)  # c_o accumulated on adoption
+                considered += 1
                 heapq.heappush(
                     queue,
                     _Candidate(
@@ -199,6 +206,22 @@ class TopKSplitsRTree(RTreeBase):
             finished=finished,
             pending=[],
         )
+
+    @staticmethod
+    def _note_astar(
+        winner: _Candidate, expansions: int, considered: int, budget_hit: bool
+    ) -> None:
+        sp = trace.current_span()
+        if sp is not None:
+            sp.add_event(
+                "index.astar",
+                expansions=expansions,
+                considered=considered,
+                adopted_pieces=len(winner.finished),
+                c_q=winner.c_q,
+                c_o=winner.c_o,
+                budget_exhausted=budget_hit,
+            )
 
     def _pages(self, count: int) -> int:
         return math.ceil(count / self.leaf_capacity)

@@ -1,0 +1,31 @@
+"""Observability for the serving stack: tracing, metrics, flight recorder.
+
+- :mod:`repro.obs.trace` — spans with monotonic-clock timing, context
+  propagation via ``contextvars``, and a guaranteed no-allocation no-op
+  path while tracing is disabled (the default).
+- :mod:`repro.obs.metrics` — :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters, gauges, histograms under one consistent lock) plus the
+  Prometheus text exposition.
+- :mod:`repro.obs.recorder` — the slow-query flight recorder backing
+  ``/debug/traces`` and ``repro trace``.
+- :mod:`repro.obs.logging` — structured JSON logging stamped with the
+  current trace/span ids.
+"""
+
+from repro.obs import trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import NOOP_SPAN, Span, SpanEvent, TraceRecord
+
+__all__ = [
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "FlightRecorder",
+    "NOOP_SPAN",
+    "Span",
+    "SpanEvent",
+    "TraceRecord",
+]

@@ -1,0 +1,105 @@
+"""Structured JSON logging with trace correlation.
+
+Every record is one JSON object per line: timestamp, level, logger,
+message, any structured fields passed by the call site — and, when a
+trace is active on the calling context, the ``trace_id``/``span_id`` of
+the current span, so a log line can be joined to the flight-recorder
+trace of the request that emitted it.
+
+Usage::
+
+    from repro.obs.logging import get_logger
+    log = get_logger("repro.service")
+    log.info("serving", host=host, port=port)
+
+:func:`configure` installs a stderr handler with the JSON formatter on
+the ``repro`` logger namespace (idempotent); libraries embedding repro
+can skip it and route the stdlib records however they already do.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+from repro.obs import trace
+
+_FIELDS_ATTR = "repro_fields"
+
+
+class JsonFormatter(logging.Formatter):
+    """Formats one record as a single-line JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = trace.current_span()
+        if span is not None:
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class StructuredLogger:
+    """Thin keyword-fields façade over one stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(logging.DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(logging.INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._log(logging.WARNING, message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._log(logging.ERROR, message, fields)
+
+    def _log(self, level: int, message: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, message, extra={_FIELDS_ATTR: fields})
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger in the stdlib hierarchy (``repro.*`` names
+    inherit the handler installed by :func:`configure`)."""
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Install the JSON handler on the ``repro`` namespace (idempotent).
+
+    Returns the configured ``repro`` logger. ``stream`` defaults to
+    stderr, keeping stdout clean for CLI table output.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    root.propagate = False
+    for handler in root.handlers:
+        if isinstance(handler.formatter, JsonFormatter):
+            return root
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    root.addHandler(handler)
+    return root
+
+
+def timestamp() -> float:
+    """Wall-clock seconds; indirection point so tests can freeze time."""
+    return time.time()

@@ -1,0 +1,346 @@
+"""A unified metrics registry: counters, gauges, histograms, exposition.
+
+One :class:`MetricsRegistry` owns every metric of a subsystem and — the
+point of the exercise — a **single shared lock**, so a registry snapshot
+is one consistent cut across all its metrics: a request accounted in the
+``requests`` counter is also accounted in the latency histogram of the
+same snapshot, never half of each. Individual metrics remain usable
+standalone (they make their own lock when unattached).
+
+Histogram quantiles use the Prometheus-style in-bucket linear
+interpolation, tightened at the data boundaries: the first populated
+bucket starts at the observed minimum and the last populated bucket ends
+at the observed maximum, so a single-sample histogram reports the
+observation itself — not the bucket's upper bound — at every quantile.
+
+:meth:`MetricsRegistry.to_prometheus` renders the registry in the
+Prometheus text exposition format (``# TYPE`` comments, cumulative
+``_bucket{le=...}`` histogram series, numeric leaves of structured
+gauges flattened into label pairs).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from threading import RLock
+from typing import Callable
+
+
+def default_latency_bounds() -> tuple[float, ...]:
+    """100 µs .. ~52 s in ×1.5 steps (33 finite buckets + overflow)."""
+    bounds = []
+    upper = 1e-4
+    for _ in range(33):
+        bounds.append(upper)
+        upper *= 1.5
+    return tuple(bounds)
+
+
+class Counter:
+    """A monotonically-increasing integer counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: RLock | None = None) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock if lock is not None else RLock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set directly or pulled from a
+    callable at read time (e.g. queue depth, breaker state)."""
+
+    __slots__ = ("name", "_value", "_fn", "_lock")
+
+    def __init__(
+        self, name: str, fn: Callable[[], object] | None = None, lock: RLock | None = None
+    ) -> None:
+        self.name = name
+        self._fn = fn
+        self._value: object = 0
+        self._lock = lock if lock is not None else RLock()
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def read(self):
+        """The current value; a pull callable that raises reads as an
+        error string (a gauge must never take a scrape down)."""
+        if self._fn is not None:
+            try:
+                return self._fn()
+            except Exception as exc:  # noqa: BLE001 - surfaced in the payload
+                return f"error: {exc}"
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram with boundary-exact quantile estimates.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot is
+    the overflow bucket. ``record`` is one bisect plus a few adds under
+    the lock; :meth:`snapshot` computes everything — including the
+    quantiles — under a single lock acquisition, so concurrent
+    ``observe`` calls can never produce a snapshot whose bucket total
+    disagrees with its count.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        bounds: tuple[float, ...] | None = None,
+        name: str = "histogram",
+        lock: RLock | None = None,
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else default_latency_bounds()
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("bounds must be a non-empty increasing sequence")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = lock if lock is not None else RLock()
+
+    def observe(self, value: float) -> None:
+        value = max(0.0, float(value))
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    #: Histograms predating the registry recorded via ``record``.
+    record = observe
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        first_populated = next(i for i, c in enumerate(self._counts) if c)
+        last_populated = max(i for i, c in enumerate(self._counts) if c)
+        seen = 0
+        for i, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank and count > 0:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self._max
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                # Tighten the interpolation interval at the data
+                # boundaries: no estimate may fall outside the observed
+                # range, and a bucket holding the extreme observation
+                # interpolates toward the observation, not the bucket
+                # edge — a single sample reports itself exactly.
+                if i == first_populated:
+                    lower = max(lower, min(self._min, upper))
+                if i == last_populated:
+                    upper = min(upper, max(self._max, lower))
+                within = (rank - (seen - count)) / count
+                estimate = lower + within * (upper - lower)
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
+    def percentiles(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
+            }
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view, atomic with respect to ``observe``."""
+        with self._lock:
+            nonzero = {
+                (f"{self.bounds[i]:.6g}" if i < len(self.bounds) else "+Inf"): c
+                for i, c in enumerate(self._counts)
+                if c > 0
+            }
+            return {
+                "count": self._count,
+                "sum_seconds": self._sum,
+                "min_seconds": self._min if self._count else 0.0,
+                "max_seconds": self._max,
+                "mean_seconds": self._sum / self._count if self._count else 0.0,
+                "buckets": nonzero,
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
+            }
+
+    def cumulative_buckets(self) -> list[tuple[str, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs (all buckets,
+        ``+Inf`` last)."""
+        with self._lock:
+            pairs = []
+            running = 0
+            for i, count in enumerate(self._counts):
+                running += count
+                label = f"{self.bounds[i]:.6g}" if i < len(self.bounds) else "+Inf"
+                pairs.append((label, running))
+            return pairs
+
+
+class MetricsRegistry:
+    """A named collection of metrics sharing one lock.
+
+    ``counter`` / ``gauge`` / ``histogram`` create on first use and
+    return the existing metric afterwards, so call sites need no
+    registration ceremony.
+    """
+
+    def __init__(self) -> None:
+        self.lock = RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access / creation -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self.lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name, lock=self.lock)
+            return metric
+
+    def gauge(self, name: str, fn: Callable[[], object] | None = None) -> Gauge:
+        with self.lock:
+            metric = self._gauges.get(name)
+            if metric is None or fn is not None:
+                metric = self._gauges[name] = Gauge(name, fn=fn, lock=self.lock)
+            return metric
+
+    def histogram(self, name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+        with self.lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    bounds=bounds, name=name, lock=self.lock
+                )
+            return metric
+
+    # -- reading -----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        with self.lock:
+            return {name: c._value for name, c in self._counters.items()}
+
+    def gauges(self) -> dict[str, object]:
+        """Gauge values; pull callables run *outside* the registry lock
+        (they typically take other subsystems' locks)."""
+        with self.lock:
+            items = list(self._gauges.items())
+        return {name: gauge.read() for name, gauge in items}
+
+    def snapshot(self) -> dict:
+        """One consistent cut: counters and histograms under a single
+        lock acquisition, gauges appended after."""
+        with self.lock:
+            snap = {
+                "counters": {name: c._value for name, c in self._counters.items()},
+                "histograms": {
+                    name: hist.snapshot() for name, hist in self._histograms.items()
+                },
+            }
+        gauges = self.gauges()
+        if gauges:
+            snap["gauges"] = gauges
+        return snap
+
+    # -- exposition --------------------------------------------------------
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        with self.lock:
+            counters = {name: c._value for name, c in self._counters.items()}
+            histograms = list(self._histograms.items())
+            hist_data = [
+                (name, hist.cumulative_buckets(), hist._sum, hist._count)
+                for name, hist in histograms
+            ]
+        for name in sorted(counters):
+            metric = f"{prefix}_{_sanitize(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counters[name]}")
+        for name, buckets, total, count in sorted(hist_data):
+            metric = f"{prefix}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} histogram")
+            for le, cumulative in buckets:
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{metric}_sum {_format_value(total)}")
+            lines.append(f"{metric}_count {count}")
+        for name, value in sorted(self.gauges().items()):
+            for leaf_name, labels, leaf_value in _numeric_leaves(name, value):
+                metric = f"{prefix}_{_sanitize(leaf_name)}"
+                label_text = (
+                    "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+                    if labels
+                    else ""
+                )
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric}{label_text} {_format_value(leaf_value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.9g}"
+
+
+def _numeric_leaves(name: str, value, labels: tuple = ()):
+    """Flatten a (possibly nested) gauge value into numeric leaves.
+
+    Dicts descend with ``name_key``; lists descend with an ``index``
+    label; strings and other non-numerics are skipped (they belong in
+    the JSON snapshot, not the exposition).
+    """
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        yield name, labels, value
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _numeric_leaves(f"{name}_{key}", item, labels)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _numeric_leaves(name, item, labels + (("index", str(i)),))

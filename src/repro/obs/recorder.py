@@ -1,0 +1,85 @@
+"""The slow-query flight recorder: a bounded ring of completed traces.
+
+A :class:`FlightRecorder` registers as a trace listener
+(:func:`repro.obs.trace.add_listener`) and keeps the most recent traces
+whose root duration meets a latency threshold in a fixed-size ring
+buffer. It answers the question "why was that query slow?" *after the
+fact*: the evidence is already on board when the incident is noticed,
+like its aviation namesake. ``/debug/traces`` and ``repro trace`` both
+read from here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.obs.trace import TraceRecord
+
+
+class FlightRecorder:
+    """Bounded, threshold-filtered buffer of :class:`TraceRecord`.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest recorded trace is evicted when full.
+    threshold_seconds:
+        Minimum root-span duration for a trace to be recorded. 0 records
+        everything (the default — the ring stays bounded regardless).
+    """
+
+    def __init__(self, capacity: int = 64, threshold_seconds: float = 0.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if threshold_seconds < 0:
+            raise ValueError("threshold_seconds must be >= 0")
+        self.capacity = capacity
+        self.threshold_seconds = threshold_seconds
+        self._ring: deque[TraceRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seen = 0
+        self._recorded = 0
+        self._evicted = 0
+
+    def record(self, record: TraceRecord) -> None:
+        """Trace listener entry point; cheap filter, ring append."""
+        with self._lock:
+            self._seen += 1
+            if record.duration_seconds < self.threshold_seconds:
+                return
+            if len(self._ring) == self.capacity:
+                self._evicted += 1
+            self._ring.append(record)
+            self._recorded += 1
+
+    def traces(self, limit: int | None = None) -> list[TraceRecord]:
+        """Recorded traces, most recent last; ``limit`` keeps the tail."""
+        with self._lock:
+            records = list(self._ring)
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return records
+
+    def last(self) -> TraceRecord | None:
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    def dump(self, limit: int | None = None) -> list[dict]:
+        """JSON-ready list of recorded traces (the ``/debug/traces`` body)."""
+        return [record.as_dict() for record in self.traces(limit)]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "threshold_seconds": self.threshold_seconds,
+                "seen": self._seen,
+                "recorded": self._recorded,
+                "evicted": self._evicted,
+                "held": len(self._ring),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

@@ -1,0 +1,397 @@
+"""Lightweight tracing: spans, context propagation, completed traces.
+
+The serving stack is instrumented with *spans* — named, monotonic-clock
+timed segments of one request's life — that decompose end-to-end latency
+into queue wait, index traversal, probability scoring, serialization,
+and whatever else a layer cares to record. Design constraints, in order:
+
+1. **Zero-cost when off.** Tracing is globally disabled by default.
+   Every instrumentation site reduces to either one module-global load
+   plus a branch (:func:`enabled`, :func:`current_span`) or a ``with``
+   over the pre-allocated :data:`NOOP_SPAN` singleton — no allocation,
+   no lock, no clock read.
+2. **Context propagation via contextvars.** The current span lives in a
+   :class:`~contextvars.ContextVar`, so it follows the request through
+   the HTTP handler thread; the :class:`~repro.service.pool.EnginePool`
+   captures the submitting context and re-enters it on the worker
+   thread, so spans opened inside the engine parent correctly to the
+   request that queued them.
+3. **Traces are delivered whole.** Spans buffer into their trace; when
+   the *root* span finishes, a :class:`TraceRecord` is handed to every
+   registered listener (the flight recorder, a test collector). A lost
+   child (crashed worker) never blocks delivery.
+
+All times come from ``time.perf_counter`` and are reported relative to
+the trace start (``start_offset_seconds``), which makes records
+serializable and diffable without wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+
+class _NoopSpan:
+    """The do-nothing span returned by :func:`span` while tracing is
+    disabled. A single module-level instance; every method is a no-op."""
+
+    __slots__ = ()
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attribute(self, name: str, value) -> "_NoopSpan":
+        return self
+
+    def add_event(self, name: str, **attributes) -> "_NoopSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+
+#: Shared no-op span: the entire cost of a disabled instrumentation site.
+NOOP_SPAN = _NoopSpan()
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """A point-in-time annotation on a span (e.g. a fired chaos fault)."""
+
+    name: str
+    offset_seconds: float  # relative to the trace start
+    attributes: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "offset_seconds": self.offset_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _TraceState:
+    """Shared buffer of one in-flight trace (root span + descendants)."""
+
+    __slots__ = ("trace_id", "t0", "spans")
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+        self.t0 = time.perf_counter()
+        self.spans: list[Span] = []  # completion order; append is atomic
+
+
+class Span:
+    """One timed segment of a trace. Use as a context manager:
+
+    >>> with trace.span("index.search", k=5) as sp:
+    ...     sp.set_attribute("matches", 12)
+
+    Entering installs the span as the current context span; exiting
+    restores the parent, stamps the duration, and (for the root span)
+    delivers the finished trace to listeners. An exception escaping the
+    block is recorded as an ``error`` attribute and re-raised.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "events",
+        "start_offset_seconds",
+        "duration_seconds",
+        "_trace",
+        "_start",
+        "_token",
+        "_finished",
+    )
+
+    def __init__(
+        self, name: str, trace_state: _TraceState, parent_id: str | None, attributes: dict
+    ) -> None:
+        self.name = name
+        self.span_id = f"s{next(_ids):08x}"
+        self.parent_id = parent_id
+        self.attributes = dict(attributes) if attributes else {}
+        self.events: list[SpanEvent] | None = None
+        self._trace = trace_state
+        self._start = time.perf_counter()
+        self.start_offset_seconds = self._start - trace_state.t0
+        self.duration_seconds = 0.0
+        self._token = None
+        self._finished = False
+
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    @property
+    def trace_id(self) -> str:
+        return self._trace.trace_id
+
+    def set_attribute(self, name: str, value) -> "Span":
+        self.attributes[name] = value
+        return self
+
+    def add_event(self, name: str, **attributes) -> "Span":
+        if self.events is None:
+            self.events = []
+        self.events.append(
+            SpanEvent(name, time.perf_counter() - self._trace.t0, attributes)
+        )
+        return self
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        self.finish()
+        return False
+
+    def finish(self) -> None:
+        """Stamp the duration and buffer the span; root spans deliver."""
+        if self._finished:
+            return
+        self._finished = True
+        self.duration_seconds = time.perf_counter() - self._start
+        state = self._trace
+        state.spans.append(self)
+        if self.parent_id is None:
+            _deliver(state, self)
+            # Span <-> _TraceState is a reference cycle; break it once
+            # the trace is over so dropped traces die by refcount
+            # instead of waiting for (and feeding) the cyclic GC.
+            for span in state.spans:
+                span._trace = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_offset_seconds": self.start_offset_seconds,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "events": [event.as_dict() for event in self.events or ()],
+        }
+
+
+class TraceRecord:
+    """One completed trace, as delivered to listeners — plain data,
+    safe to hold after the request is gone and to serialize as JSON.
+
+    ``spans`` (a tuple of span dicts in completion order) materializes
+    lazily from the live span objects: a listener that drops the trace
+    without looking at its spans — the flight recorder's threshold
+    filter on a fast query — never pays for building the dicts.
+    """
+
+    __slots__ = ("trace_id", "root_name", "duration_seconds", "_spans", "_raw")
+
+    def __init__(
+        self,
+        trace_id: str,
+        root_name: str,
+        duration_seconds: float,
+        spans: tuple = (),
+        _raw: tuple | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.root_name = root_name
+        self.duration_seconds = duration_seconds
+        self._spans = None if _raw is not None else tuple(spans)
+        self._raw = _raw
+
+    @property
+    def spans(self) -> tuple:
+        if self._spans is None:
+            self._spans = tuple(span.as_dict() for span in self._raw)
+            self._raw = None
+        return self._spans
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "root_name": self.root_name,
+            "duration_seconds": self.duration_seconds,
+            "spans": [dict(span) for span in self.spans],
+        }
+
+    def span_names(self) -> list[str]:
+        return [span["name"] for span in self.spans]
+
+    def find(self, name: str) -> dict | None:
+        """The first span with ``name``, or None."""
+        for span in self.spans:
+            if span["name"] == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list[dict]:
+        return [span for span in self.spans if span["name"] == name]
+
+
+def render(record: TraceRecord) -> str:
+    """A human-readable tree of one trace (used by ``repro trace``)."""
+    spans = sorted(record.spans, key=lambda s: s["start_offset_seconds"])
+    children: dict[str | None, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    lines = [
+        f"trace {record.trace_id}: {record.root_name} "
+        f"({record.duration_seconds * 1e3:.2f} ms)"
+    ]
+
+    def emit(span: dict, depth: int) -> None:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span["attributes"].items())
+        )
+        lines.append(
+            f"{'  ' * depth}- {span['name']} "
+            f"[{span['start_offset_seconds'] * 1e3:+.2f} ms, "
+            f"{span['duration_seconds'] * 1e3:.2f} ms]"
+            + (f" {attrs}" if attrs else "")
+        )
+        for event in span["events"]:
+            event_attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(event["attributes"].items())
+            )
+            lines.append(
+                f"{'  ' * (depth + 1)}* {event['name']} "
+                f"[{event['offset_seconds'] * 1e3:+.2f} ms]"
+                + (f" {event_attrs}" if event_attrs else "")
+            )
+        for child in children.get(span["span_id"], []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+# -- module state -----------------------------------------------------------
+
+_current: ContextVar[Span | None] = ContextVar("repro_trace_span", default=None)
+_enabled = False
+_ids = itertools.count(1)
+_listeners: list = []
+_listener_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether tracing is globally on (one module-global load)."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def span(name: str, **attributes):
+    """Open a span (context manager). Returns :data:`NOOP_SPAN` — no
+    allocation at all — while tracing is disabled. With no current span
+    this starts a new trace; otherwise the new span is a child."""
+    if not _enabled:
+        return NOOP_SPAN
+    parent = _current.get()
+    if parent is None:
+        state = _TraceState(f"t{next(_ids):08x}")
+        return Span(name, state, None, attributes)
+    return Span(name, parent._trace, parent.span_id, attributes)
+
+
+def current_span() -> Span | None:
+    """The active span, or None (always None while disabled)."""
+    if not _enabled:
+        return None
+    return _current.get()
+
+
+def record_span(name: str, duration_seconds: float, **attributes) -> None:
+    """Attach an already-elapsed phase (e.g. queue wait measured by the
+    pool) as a finished child span of the current span. The span is
+    backdated so ``start + duration == now`` on the trace clock."""
+    if not _enabled:
+        return
+    parent = _current.get()
+    if parent is None:
+        return
+    child = Span(name, parent._trace, parent.span_id, attributes)
+    child.start_offset_seconds = max(
+        0.0, child.start_offset_seconds - duration_seconds
+    )
+    child._finished = True
+    child.duration_seconds = duration_seconds
+    child._trace.spans.append(child)
+
+
+def add_listener(fn) -> None:
+    """Register ``fn(record: TraceRecord)`` for every completed trace."""
+    with _listener_lock:
+        if fn not in _listeners:
+            _listeners.append(fn)
+
+
+def remove_listener(fn) -> None:
+    with _listener_lock:
+        if fn in _listeners:
+            _listeners.remove(fn)
+
+
+def _deliver(state: _TraceState, root: Span) -> None:
+    with _listener_lock:
+        listeners = list(_listeners)
+    if not listeners:
+        return
+    record = TraceRecord(
+        trace_id=state.trace_id,
+        root_name=root.name,
+        duration_seconds=root.duration_seconds,
+        _raw=tuple(state.spans),
+    )
+    for fn in listeners:
+        try:
+            fn(record)
+        except Exception:  # noqa: BLE001 - a listener must not kill a request
+            pass
+
+
+@contextmanager
+def capture():
+    """Test helper: enable tracing for the block and collect every
+    completed :class:`TraceRecord` into the yielded list."""
+    collected: list[TraceRecord] = []
+    add_listener(collected.append)
+    was_enabled = _enabled
+    enable()
+    try:
+        yield collected
+    finally:
+        if not was_enabled:
+            disable()
+        remove_listener(collected.append)

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.index.geometry import Rect
+from repro.obs import trace
 from repro.query.probability import InverseDistanceProbability
 from repro.transform.bounds import aggregate_sum_tail_bound
 
@@ -107,6 +108,28 @@ class AggregateProcessor:
         if not 0.0 < access_fraction <= 1.0:
             raise QueryError("access_fraction must be in (0, 1]")
 
+        with trace.span("query.aggregate") as sp:
+            estimate = self._estimate(
+                query_point_s1, kind, attribute, p_tau, access_fraction,
+                max_access, exclude, refine_index,
+            )
+            sp.set_attribute("kind", kind)
+            sp.set_attribute("ball_size", estimate.ball_size)
+            sp.set_attribute("accessed", estimate.accessed)
+            sp.set_attribute("p_tau", p_tau)
+        return estimate
+
+    def _estimate(
+        self,
+        query_point_s1: np.ndarray,
+        kind: str,
+        attribute: str | None,
+        p_tau: float,
+        access_fraction: float,
+        max_access: int | None,
+        exclude,
+        refine_index: bool,
+    ) -> AggregateEstimate:
         query_point_s1 = np.asarray(query_point_s1, dtype=np.float64)
         ball_ids, distances, region = self._ball(
             query_point_s1, p_tau, exclude, refine_index

@@ -24,6 +24,7 @@ from repro.index.linear import ExhaustiveScan
 from repro.index.store import PointStore
 from repro.index.topk_splits import TopKSplitsRTree
 from repro.kg.graph import KnowledgeGraph
+from repro.obs import trace
 from repro.query.aggregates import AggregateEstimate, AggregateProcessor
 from repro.query.probability import InverseDistanceProbability
 from repro.query.topk import TopKResult, find_topk
@@ -267,26 +268,38 @@ class QueryEngine:
         """
         if direction not in ("tail", "head"):
             raise QueryError("direction must be 'tail' or 'head'")
-        before = self.index.counters.snapshot()
-        splits_before = self.index.splits_performed
-        start = time.perf_counter()
-        if direction == "tail":
-            result = self.topk_tails(entity, relation, k)
-        else:
-            result = self.topk_heads(entity, relation, k)
-        elapsed = time.perf_counter() - start
-        after = self.index.counters
-        return QueryExplain(
-            result=result,
-            elapsed_seconds=elapsed,
-            internal_accesses=after.internal_accesses - before.internal_accesses,
-            leaf_accesses=after.leaf_accesses - before.leaf_accesses,
-            partition_accesses=after.partition_accesses - before.partition_accesses,
-            splits_triggered=self.index.splits_performed - splits_before,
-            points_examined=result.points_examined,
-            scan_equivalent_points=self.graph.num_entities,
-            index_stats=self.index.stats(),
-        )
+        with trace.span("engine.topk") as sp:
+            before = self.index.counters.snapshot()
+            splits_before = self.index.splits_performed
+            start = time.perf_counter()
+            if direction == "tail":
+                result = self.topk_tails(entity, relation, k)
+            else:
+                result = self.topk_heads(entity, relation, k)
+            elapsed = time.perf_counter() - start
+            after = self.index.counters
+            stats = self.index.stats()
+            explain = QueryExplain(
+                result=result,
+                elapsed_seconds=elapsed,
+                internal_accesses=after.internal_accesses - before.internal_accesses,
+                leaf_accesses=after.leaf_accesses - before.leaf_accesses,
+                partition_accesses=after.partition_accesses - before.partition_accesses,
+                splits_triggered=self.index.splits_performed - splits_before,
+                points_examined=result.points_examined,
+                scan_equivalent_points=self.graph.num_entities,
+                index_stats=stats,
+            )
+            if sp.is_recording:
+                sp.set_attribute("direction", direction)
+                sp.set_attribute("internal_accesses", explain.internal_accesses)
+                sp.set_attribute("leaf_accesses", explain.leaf_accesses)
+                sp.set_attribute("splits_triggered", explain.splits_triggered)
+                sp.set_attribute("points_examined", explain.points_examined)
+                sp.set_attribute(
+                    "contour_size", stats.leaf_nodes + stats.frontier_elements
+                )
+        return explain
 
     # -- probabilities ------------------------------------------------------
 
@@ -294,8 +307,11 @@ class QueryEngine:
         """Inverse-distance probabilities of a top-k result's entities."""
         if not result.distances:
             return ()
-        model = InverseDistanceProbability(result.distances[0])
-        return tuple(model.probability(d) for d in result.distances)
+        with trace.span("query.probability") as sp:
+            model = InverseDistanceProbability(result.distances[0])
+            probs = tuple(model.probability(d) for d in result.distances)
+            sp.set_attribute("entities", len(probs))
+        return probs
 
     # -- aggregate queries ------------------------------------------------------
 

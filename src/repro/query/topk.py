@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.index.geometry import Rect
+from repro.obs import trace
 
 #: Candidates examined per vectorised batch in the refinement loop.
 _CHUNK = 64
@@ -99,6 +100,31 @@ def find_topk(
         raise QueryError("k must be >= 1")
     if epsilon < 0:
         raise QueryError("epsilon must be non-negative")
+    with trace.span("query.topk") as sp:
+        result = _find_topk(
+            index, s1_vectors, transform, query_point_s1, k,
+            exclude, epsilon, refine_index, allowed, sp,
+        )
+        if sp.is_recording:
+            sp.set_attribute("k", k)
+            sp.set_attribute("returned", len(result))
+            sp.set_attribute("points_examined", result.points_examined)
+            sp.set_attribute("final_radius", round(result.final_radius, 6))
+    return result
+
+
+def _find_topk(
+    index,
+    s1_vectors: np.ndarray,
+    transform,
+    query_point_s1: np.ndarray,
+    k: int,
+    exclude,
+    epsilon: float,
+    refine_index: bool,
+    allowed: frozenset[int] | None,
+    sp,
+) -> TopKResult:
     query_point_s1 = np.asarray(query_point_s1, dtype=np.float64)
     q2 = transform(query_point_s1)
 
@@ -139,12 +165,16 @@ def find_topk(
     # Line 2: probe for the k seed points near q in S2, widening until
     # enough non-excluded candidates are seeded (or the probe saturates).
     probe_size = k
+    probe_rounds = 0
     while True:
         seeds = index.probe(q2, probe_size)
+        probe_rounds += 1
         merge(fresh_eligible(seeds))
         if len(best_ids) >= k or probe_size >= len(s1_vectors):
             break
         probe_size = min(probe_size * 4, len(s1_vectors))
+    sp.set_attribute("seeds", points_examined)
+    sp.set_attribute("probe_rounds", probe_rounds)
 
     if len(best_ids) == 0:
         return TopKResult((), (), points_examined, float("inf"), None)
@@ -157,6 +187,7 @@ def find_topk(
     radius = current_radius()
     region = Rect.ball_box(q2, radius)
     candidates = fresh_eligible(index.search(region))
+    pruned = 0
     if len(candidates) > 0:
         s2_dists = np.linalg.norm(index.store.points_of(candidates) - q2, axis=1)
         order = np.argsort(s2_dists)
@@ -167,10 +198,14 @@ def find_topk(
             position += len(chunk)
             in_region = region.contains_points(index.store.points_of(chunk))
             merge(chunk[in_region])
+            if sp.is_recording:
+                pruned += len(chunk) - int(in_region.sum())
             new_radius = current_radius()
             if new_radius < radius:
                 radius = new_radius
                 region = Rect.ball_box(q2, radius)
+    sp.set_attribute("candidates", len(candidates))
+    sp.set_attribute("pruned", pruned)
 
     # Line 9: crack the index for the final query region.
     if refine_index:

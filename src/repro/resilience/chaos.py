@@ -37,6 +37,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.obs import trace
 from repro.rng import ensure_rng
 
 
@@ -130,6 +131,19 @@ class ChaosController:
                     )
                 )
                 to_apply.append(rule)
+        # Injected faults annotate the request's trace so a flight-recorded
+        # slow query shows exactly which fault hit it and when.
+        if to_apply:
+            sp = trace.current_span()
+            if sp is not None:
+                for rule in to_apply:
+                    sp.add_event(
+                        "chaos.fired",
+                        point=point,
+                        exc=rule.exc.__name__ if rule.exc else None,
+                        delay=rule.delay,
+                        hit=rule.hits,
+                    )
         # Sleep/raise outside the lock so latency injection does not
         # serialize unrelated injection points.
         for rule in to_apply:

@@ -34,11 +34,15 @@ import numpy as np
 from repro.errors import IndexError_, ReproError
 from repro.index.bulkload import BulkLoadedRTree
 from repro.index.validation import check_invariants
+from repro.obs import trace
+from repro.obs.logging import get_logger
 from repro.query.topk import TopKResult
 from repro.resilience import chaos
 
 #: Human-readable rung names, indexed by level.
 LEVELS = ("native", "bulk", "linear")
+
+_log = get_logger("repro.resilience.degrade")
 
 
 def validate_engine(engine) -> None:
@@ -219,6 +223,16 @@ class DegradationLadder:
         state.queries_since_downgrade = 0
         state.last_error = f"{type(exc).__name__}: {exc}"
         self._increment("degradations")
+        sp = trace.current_span()
+        if sp is not None:
+            sp.add_event(
+                "degrade.downgrade", level=state.level, mode=LEVELS[state.level],
+                error=state.last_error,
+            )
+        _log.warning(
+            "engine degraded", level=state.level, mode=LEVELS[state.level],
+            error=state.last_error,
+        )
         if state.level == 1:
             # A fresh bulk tree over the same store answers identically;
             # the broken tree is simply dropped.
@@ -250,6 +264,10 @@ class DegradationLadder:
         state.queries_since_downgrade = 0
         state.last_error = ""
         self._increment("index_rebuilds")
+        sp = trace.current_span()
+        if sp is not None:
+            sp.add_event("degrade.rebuild", variant=cls.__name__)
+        _log.info("index rebuilt to native variant", variant=cls.__name__)
 
     def repair(self, engine) -> bool:
         """Validate a suspect engine; rebuild its index if broken.

@@ -1,106 +1,48 @@
-"""Serving metrics: latency histograms, counters, and a text report.
+"""Serving metrics, backed by the unified observability registry.
 
-Everything here is stdlib + numpy-free on the hot path: recording a
-latency is one bisect into a fixed geometric bucket ladder under a lock.
-Percentiles are estimated by linear interpolation inside the winning
-bucket — the standard Prometheus-style histogram_quantile estimate,
-plenty for p50/p95/p99 serving dashboards.
+:class:`ServingMetrics` keeps its historical API — ``increment`` /
+``record_request`` / ``snapshot`` / ``report`` — but its storage is a
+:class:`repro.obs.metrics.MetricsRegistry`: every counter and histogram
+shares one lock, so a snapshot is a single consistent cut (a request
+counted in ``requests`` is also counted in the latency histogram of the
+same snapshot), and the whole registry renders to the Prometheus text
+exposition via :meth:`ServingMetrics.to_prometheus` for
+``/metrics?format=prometheus``.
+
+``LatencyHistogram`` is the registry histogram class re-exported under
+its original name; existing call sites and tests keep working.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from threading import RLock
 from typing import Callable
 
+from repro.obs.metrics import Histogram, MetricsRegistry
 
-def _default_bounds() -> tuple[float, ...]:
-    # 100 µs .. ~52 s in ×1.5 steps (33 finite buckets + overflow).
-    bounds = []
-    upper = 1e-4
-    for _ in range(33):
-        bounds.append(upper)
-        upper *= 1.5
-    return tuple(bounds)
+#: Back-compat alias: the serving layer's histogram is the registry's.
+LatencyHistogram = Histogram
 
-
-class LatencyHistogram:
-    """A fixed-bucket latency histogram with quantile estimates."""
-
-    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
-        self.bounds = tuple(bounds) if bounds is not None else _default_bounds()
-        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
-            raise ValueError("bounds must be a non-empty increasing sequence")
-        # counts[i] counts observations <= bounds[i]; the last slot is overflow.
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = 0.0
-        self._lock = RLock()
-
-    def record(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        with self._lock:
-            self._counts[bisect_left(self.bounds, seconds)] += 1
-            self._count += 1
-            self._sum += seconds
-            self._min = min(self._min, seconds)
-            self._max = max(self._max, seconds)
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile in seconds (0 when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            seen = 0
-            for i, count in enumerate(self._counts):
-                seen += count
-                if seen >= rank and count > 0:
-                    if i >= len(self.bounds):  # overflow bucket
-                        return self._max
-                    lower = self.bounds[i - 1] if i > 0 else 0.0
-                    upper = self.bounds[i]
-                    within = (rank - (seen - count)) / count
-                    estimate = lower + within * (upper - lower)
-                    return min(max(estimate, self._min), self._max)
-            return self._max
-
-    def percentiles(self) -> dict[str, float]:
-        return {
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
-
-    def snapshot(self) -> dict:
-        with self._lock:
-            nonzero = {
-                (f"{self.bounds[i]:.6g}" if i < len(self.bounds) else "+Inf"): c
-                for i, c in enumerate(self._counts)
-                if c > 0
-            }
-            return {
-                "count": self._count,
-                "sum_seconds": self._sum,
-                "min_seconds": self._min if self._count else 0.0,
-                "max_seconds": self._max,
-                "mean_seconds": self._sum / self._count if self._count else 0.0,
-                "buckets": nonzero,
-                **self.percentiles(),
-            }
+#: Counters pre-registered on every service so reports and snapshots
+#: always show the full set (zeros included), in one stable order.
+_COUNTERS = (
+    "requests",
+    "errors",
+    "rejected",
+    "deadline_exceeded",
+    "cache_hits",
+    "cache_misses",
+    "splits_triggered",
+    "points_examined",
+    "invalidations",
+    # fault-tolerance accounting
+    "degradations",
+    "index_rebuilds",
+    "engines_repaired",
+    "worker_restarts",
+    "workers_hung",
+    "breaker_transitions",
+    "breaker_rejections",
+)
 
 
 class ServingMetrics:
@@ -115,41 +57,24 @@ class ServingMetrics:
         queue_depth: Callable[[], int] | None = None,
         cache_stats: Callable[[], object] | None = None,
     ) -> None:
-        self.latency = LatencyHistogram()
-        self.queue_wait = LatencyHistogram()
+        self.registry = MetricsRegistry()
+        self.latency = self.registry.histogram("request_latency_seconds")
+        self.queue_wait = self.registry.histogram("queue_wait_seconds")
+        for name in _COUNTERS:
+            self.registry.counter(name)
         self._queue_depth = queue_depth
         self._cache_stats = cache_stats
-        self._lock = RLock()
-        self._counters = {
-            "requests": 0,
-            "errors": 0,
-            "rejected": 0,
-            "deadline_exceeded": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "splits_triggered": 0,
-            "points_examined": 0,
-            "invalidations": 0,
-            # fault-tolerance accounting
-            "degradations": 0,
-            "index_rebuilds": 0,
-            "engines_repaired": 0,
-            "worker_restarts": 0,
-            "workers_hung": 0,
-            "breaker_transitions": 0,
-            "breaker_rejections": 0,
-        }
-        self._gauges: dict[str, Callable[[], object]] = {}
 
     def register_gauge(self, name: str, fn: Callable[[], object]) -> None:
         """Attach a pull-style gauge (e.g. breaker state, WAL lag); its
-        value appears under ``gauges`` in every snapshot."""
-        with self._lock:
-            self._gauges[name] = fn
+        value appears under ``gauges`` in every snapshot and its numeric
+        leaves in the Prometheus exposition."""
+        self.registry.gauge(name, fn)
 
     def increment(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] += amount
+        if name not in _COUNTERS:
+            raise KeyError(name)
+        self.registry.counter(name).inc(amount)
 
     def record_request(
         self,
@@ -159,49 +84,55 @@ class ServingMetrics:
     ) -> None:
         """Account one completed request; ``explain`` (a
         :class:`~repro.query.engine.QueryExplain`) feeds the index-side
-        counters on cache misses."""
-        self.latency.record(elapsed_seconds)
-        with self._lock:
-            self._counters["requests"] += 1
+        counters on cache misses. The whole update happens under the
+        registry lock, so no snapshot can observe the request in one
+        metric but not another."""
+        with self.registry.lock:
+            self.latency.observe(elapsed_seconds)
+            self.registry.counter("requests").inc()
             if cache_hit:
-                self._counters["cache_hits"] += 1
+                self.registry.counter("cache_hits").inc()
             else:
-                self._counters["cache_misses"] += 1
+                self.registry.counter("cache_misses").inc()
             if explain is not None:
-                self._counters["splits_triggered"] += explain.splits_triggered
-                self._counters["points_examined"] += explain.points_examined
+                self.registry.counter("splits_triggered").inc(explain.splits_triggered)
+                self.registry.counter("points_examined").inc(explain.points_examined)
 
     def record_queue_wait(self, seconds: float) -> None:
-        self.queue_wait.record(seconds)
+        self.queue_wait.observe(seconds)
 
     @property
     def cache_hit_rate(self) -> float:
-        with self._lock:
-            hits = self._counters["cache_hits"]
-            total = hits + self._counters["cache_misses"]
+        with self.registry.lock:
+            hits = self.registry.counter("cache_hits")._value
+            total = hits + self.registry.counter("cache_misses")._value
         return hits / total if total else 0.0
 
     def snapshot(self) -> dict:
-        """A JSON-serializable view of everything (the ``/metrics`` body)."""
-        with self._lock:
-            counters = dict(self._counters)
+        """A JSON-serializable view of everything (the ``/metrics`` body).
+
+        Counters and both histograms are read under one lock acquisition
+        — atomic with respect to concurrent ``record_request`` calls —
+        then the pull gauges (which take other subsystems' locks) are
+        evaluated outside it.
+        """
+        with self.registry.lock:
+            counters = self.registry.counters()
+            latency = self.latency.snapshot()
+            queue_wait = self.queue_wait.snapshot()
+        hits = counters["cache_hits"]
+        misses = counters["cache_misses"]
         snap = {
             "counters": counters,
-            "cache_hit_rate": self.cache_hit_rate,
-            "latency": self.latency.snapshot(),
-            "queue_wait": self.queue_wait.snapshot(),
+            "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "latency": latency,
+            "queue_wait": queue_wait,
         }
         if self._queue_depth is not None:
             snap["queue_depth"] = int(self._queue_depth())
-        with self._lock:
-            gauges = dict(self._gauges)
+        gauges = self.registry.gauges()
         if gauges:
-            snap["gauges"] = {}
-            for name, fn in gauges.items():
-                try:
-                    snap["gauges"][name] = fn()
-                except Exception as exc:  # noqa: BLE001 - a gauge must not kill /metrics
-                    snap["gauges"][name] = f"error: {exc}"
+            snap["gauges"] = gauges
         if self._cache_stats is not None:
             stats = self._cache_stats()
             snap["cache"] = {
@@ -215,6 +146,24 @@ class ServingMetrics:
                 "hit_rate": stats.hit_rate,
             }
         return snap
+
+    def to_prometheus(self) -> str:
+        """The ``/metrics?format=prometheus`` body: the registry's
+        exposition plus the service-level pull values."""
+        text = self.registry.to_prometheus(prefix="repro")
+        extra: list[str] = []
+        if self._queue_depth is not None:
+            extra.append("# TYPE repro_queue_depth gauge")
+            extra.append(f"repro_queue_depth {int(self._queue_depth())}")
+        if self._cache_stats is not None:
+            stats = self._cache_stats()
+            for field in ("size", "capacity", "hits", "misses", "evictions",
+                          "expirations", "invalidations"):
+                extra.append(f"# TYPE repro_cache_{field} gauge")
+                extra.append(f"repro_cache_{field} {getattr(stats, field)}")
+        if extra:
+            text += "\n".join(extra) + "\n"
+        return text
 
     def report(self) -> str:
         """A plain-text, human-first account of the snapshot."""

@@ -36,6 +36,7 @@ retryable :class:`~repro.errors.TransientServiceError`.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import queue
 import threading
@@ -51,6 +52,7 @@ from repro.errors import (
     TransientServiceError,
     WorkerCrashError,
 )
+from repro.obs import trace
 from repro.resilience import chaos
 
 
@@ -61,6 +63,10 @@ class _Request:
     deadline: float | None
     enqueued_at: float
     on_wait: Callable[[float], None] | None = field(default=None)
+    # The submitter's contextvars context, captured only while tracing is
+    # enabled, so spans opened on the worker thread parent to the
+    # request that queued them. None keeps the handoff allocation-free.
+    ctx: contextvars.Context | None = field(default=None)
 
 
 class _WorkerState:
@@ -149,7 +155,8 @@ class EnginePool:
         now = time.monotonic()
         deadline = now + timeout if timeout is not None else None
         future: Future = Future()
-        request = _Request(fn, future, deadline, now, self._on_queue_wait)
+        ctx = contextvars.copy_context() if trace.enabled() else None
+        request = _Request(fn, future, deadline, now, self._on_queue_wait, ctx)
         try:
             self._requests.put_nowait(request)
         except queue.Full:
@@ -184,8 +191,9 @@ class EnginePool:
                     state.exited = True
                     return
                 now = time.monotonic()
+                waited = now - request.enqueued_at
                 if request.on_wait is not None:
-                    request.on_wait(now - request.enqueued_at)
+                    request.on_wait(waited)
                 if not request.future.set_running_or_notify_cancel():
                     continue
                 if request.deadline is not None and now >= request.deadline:
@@ -199,10 +207,7 @@ class EnginePool:
                 state.busy_since = time.monotonic()
                 crashed = False
                 try:
-                    # Dirty-crash injection point: the engine is checked
-                    # out and the request is in flight.
-                    chaos.fire("pool.worker.dirty")
-                    result = request.fn(engine)
+                    result = self._invoke(request, engine, waited)
                 except WorkerCrashError as exc:
                     # Simulated (or deliberate) thread death mid-query:
                     # the caller sees a retryable error; the engine is
@@ -240,6 +245,27 @@ class EnginePool:
         finally:
             if not state.exited:
                 state.dead = True
+
+    def _invoke(self, request: _Request, engine, waited: float):
+        """Run one request on its engine, under the submitter's trace
+        context when one was captured. The dirty-crash injection point
+        fires inside the context so an injected fault lands on the
+        request's trace as a span event."""
+        if request.ctx is None:
+            # Dirty-crash injection point: the engine is checked out and
+            # the request is in flight.
+            chaos.fire("pool.worker.dirty")
+            return request.fn(engine)
+        return request.ctx.run(self._invoke_traced, request, engine, waited)
+
+    @staticmethod
+    def _invoke_traced(request: _Request, engine, waited: float):
+        trace.record_span("pool.queue_wait", waited)
+        with trace.span(
+            "pool.execute", worker=threading.current_thread().name
+        ):
+            chaos.fire("pool.worker.dirty")
+            return request.fn(engine)
 
     # -- supervision -------------------------------------------------------
 

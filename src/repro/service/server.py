@@ -10,9 +10,23 @@ threads. :func:`make_server` wraps a service in a
 
 - ``GET /topk?entity=..&relation=..&k=..&direction=..``
 - ``GET /aggregate?entity=..&relation=..&kind=..&attribute=..``
-- ``GET /metrics`` (plain text; ``?format=json`` for the snapshot)
+- ``GET /metrics`` (plain text; ``?format=json`` for the snapshot,
+  ``?format=prometheus`` for the Prometheus text exposition)
 - ``GET /healthz`` (per-engine degradation levels, worker heartbeats,
   circuit-breaker state, WAL replication lag)
+- ``GET /debug/traces`` (the flight recorder's ring of slow-query
+  traces, newest last; ``?limit=N`` caps the count)
+
+``/metrics`` and ``/healthz`` responses are memoized for ``memo_ttl``
+seconds (default 1s) so aggressive scrapers cannot contend with query
+traffic; query endpoints are never memoized.
+
+When tracing is enabled (``repro serve --trace`` or
+:func:`repro.obs.trace.enable`), each query request becomes a trace
+rooted at ``http.request`` whose spans decompose the end-to-end latency
+— queue wait, index traversal, probability scoring, serialization —
+and every completed trace slower than the flight recorder's threshold
+is retained for ``/debug/traces``.
 
 Service errors map onto status codes: queue full → 429 (with a
 ``Retry-After`` header), deadline exceeded → 504, bad query → 400,
@@ -46,6 +60,9 @@ from repro.errors import (
     ServiceError,
     TransientServiceError,
 )
+from repro.obs import trace
+from repro.obs.logging import get_logger
+from repro.obs.recorder import FlightRecorder
 from repro.query.engine import QueryEngine
 from repro.query.topk import TopKResult
 from repro.resilience import chaos
@@ -55,6 +72,8 @@ from repro.resilience.watchdog import PoolWatchdog
 from repro.service.cache import QueryKey, ResultCache
 from repro.service.metrics import ServingMetrics
 from repro.service.pool import EnginePool
+
+_log = get_logger("repro.service.server")
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,8 @@ class QueryService:
         watchdog_interval: float = 0.25,
         hang_timeout: float = 30.0,
         supervise: bool = True,
+        trace_threshold: float = 0.05,
+        trace_capacity: int = 64,
     ) -> None:
         engines = engine if isinstance(engine, (list, tuple)) else [engine]
         self.engine = engines[0]
@@ -119,6 +140,13 @@ class QueryService:
             self.watchdog.start()
         self.metrics.register_gauge("breaker", self.breaker.snapshot)
         self.metrics.register_gauge("degradation", self.ladder.levels)
+        # Slow-query flight recorder: retains completed traces whose
+        # end-to-end duration exceeds the threshold (only populated
+        # while tracing is enabled). Served on /debug/traces.
+        self.recorder = FlightRecorder(
+            capacity=trace_capacity, threshold_seconds=trace_threshold
+        )
+        trace.add_listener(self.recorder.record)
         self._wal = None
         self._closed = False
 
@@ -167,41 +195,46 @@ class QueryService:
         entity_type: str | None = None,
     ) -> ServiceResult:
         """Like :meth:`topk` but also reports cache provenance."""
-        entity = self._entity_id(entity)
-        relation = self._relation_id(relation)
-        start = time.perf_counter()
-        # Typed queries are a different result space; only the untyped
-        # form is cached.
-        key = (
-            QueryKey(entity, relation, direction, k) if entity_type is None else None
-        )
-        if key is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                elapsed = time.perf_counter() - start
-                self.metrics.record_request(elapsed, cache_hit=True)
-                return ServiceResult(cached, True, elapsed)
-        timeout = timeout if timeout is not None else self.default_timeout
+        with trace.span("service.topk") as sp:
+            sp.set_attribute("k", k)
+            sp.set_attribute("direction", direction)
+            entity = self._entity_id(entity)
+            relation = self._relation_id(relation)
+            start = time.perf_counter()
+            # Typed queries are a different result space; only the untyped
+            # form is cached.
+            key = (
+                QueryKey(entity, relation, direction, k) if entity_type is None else None
+            )
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    elapsed = time.perf_counter() - start
+                    self.metrics.record_request(elapsed, cache_hit=True)
+                    sp.set_attribute("cached", True)
+                    return ServiceResult(cached, True, elapsed)
+            sp.set_attribute("cached", False)
+            timeout = timeout if timeout is not None else self.default_timeout
 
-        if entity_type is None:
-            def run(engine):
-                chaos.fire("service.query")
-                return self.ladder.explain_topk(engine, entity, relation, k, direction)
-        else:
-            def run(engine):
-                chaos.fire("service.query")
-                return (
-                    self.ladder.topk_typed(
-                        engine, entity, relation, k, direction, entity_type
-                    ),
-                    None,
-                )
-        result, explain = self._execute(run, timeout)
-        if key is not None:
-            self.cache.put(key, result)
-        elapsed = time.perf_counter() - start
-        self.metrics.record_request(elapsed, cache_hit=False, explain=explain)
-        return ServiceResult(result, False, elapsed)
+            if entity_type is None:
+                def run(engine):
+                    chaos.fire("service.query")
+                    return self.ladder.explain_topk(engine, entity, relation, k, direction)
+            else:
+                def run(engine):
+                    chaos.fire("service.query")
+                    return (
+                        self.ladder.topk_typed(
+                            engine, entity, relation, k, direction, entity_type
+                        ),
+                        None,
+                    )
+            result, explain = self._execute(run, timeout)
+            if key is not None:
+                self.cache.put(key, result)
+            elapsed = time.perf_counter() - start
+            self.metrics.record_request(elapsed, cache_hit=False, explain=explain)
+            return ServiceResult(result, False, elapsed)
 
     def aggregate(
         self,
@@ -215,20 +248,23 @@ class QueryService:
     ):
         """Serve one aggregate query (never cached: the estimate depends
         on continuous knobs like ``p_tau`` and ``access_fraction``)."""
-        entity = self._entity_id(entity)
-        relation = self._relation_id(relation)
-        timeout = timeout if timeout is not None else self.default_timeout
-        start = time.perf_counter()
+        with trace.span("service.aggregate") as sp:
+            sp.set_attribute("kind", kind)
+            sp.set_attribute("direction", direction)
+            entity = self._entity_id(entity)
+            relation = self._relation_id(relation)
+            timeout = timeout if timeout is not None else self.default_timeout
+            start = time.perf_counter()
 
-        def run(engine):
-            chaos.fire("service.query")
-            return self.ladder.aggregate(
-                engine, entity, relation, kind, attribute, direction, **kwargs
-            )
+            def run(engine):
+                chaos.fire("service.query")
+                return self.ladder.aggregate(
+                    engine, entity, relation, kind, attribute, direction, **kwargs
+                )
 
-        estimate = self._execute(run, timeout)
-        self.metrics.record_request(time.perf_counter() - start, cache_hit=False)
-        return estimate
+            estimate = self._execute(run, timeout)
+            self.metrics.record_request(time.perf_counter() - start, cache_hit=False)
+            return estimate
 
     # -- guarded execution -------------------------------------------------
 
@@ -317,6 +353,7 @@ class QueryService:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            trace.remove_listener(self.recorder.record)
             self.watchdog.stop()
             self.pool.shutdown()
 
@@ -379,16 +416,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         params = {k: v[-1] for k, v in parse_qs(url.query).items()}
         try:
             if url.path == "/topk":
-                self._handle_topk(params)
+                with trace.span("http.request") as sp:
+                    sp.set_attribute("path", url.path)
+                    self._handle_topk(params)
             elif url.path == "/aggregate":
-                self._handle_aggregate(params)
+                with trace.span("http.request") as sp:
+                    sp.set_attribute("path", url.path)
+                    self._handle_aggregate(params)
             elif url.path == "/metrics":
                 self._handle_metrics(params)
             elif url.path == "/healthz":
-                service = self.server.service
-                self._send_json(
-                    200 if service.healthy() else 503, service.health()
-                )
+                self._handle_healthz()
+            elif url.path == "/debug/traces":
+                self._handle_traces(params)
             else:
                 self._send_json(404, {"error": "NotFound", "detail": url.path})
         except Exception as exc:  # noqa: BLE001 - mapped to a status code
@@ -416,17 +456,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         result = detail.result
         graph = service.engine.graph
         probabilities = service.engine.probabilities(result)
-        self._send_json(
-            200,
-            {
-                "entities": list(result.entities),
-                "names": [graph.entities.name_of(e) for e in result.entities],
-                "distances": list(result.distances),
-                "probabilities": list(probabilities),
-                "cached": detail.cached,
-                "elapsed_seconds": detail.elapsed_seconds,
-            },
-        )
+        with trace.span("http.serialize"):
+            self._send_json(
+                200,
+                {
+                    "entities": list(result.entities),
+                    "names": [graph.entities.name_of(e) for e in result.entities],
+                    "distances": list(result.distances),
+                    "probabilities": list(probabilities),
+                    "cached": detail.cached,
+                    "elapsed_seconds": detail.elapsed_seconds,
+                },
+            )
 
     def _handle_aggregate(self, params: dict[str, str]) -> None:
         for required in ("entity", "relation", "kind"):
@@ -460,10 +501,88 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _handle_metrics(self, params: dict[str, str]) -> None:
         metrics = self.server.service.metrics
-        if params.get("format") == "json":
-            self._send_json(200, metrics.snapshot())
+        fmt = params.get("format", "text")
+        if fmt == "json":
+            status, body, ctype = self.server.memo.get(
+                ("metrics", "json"),
+                lambda: (
+                    200,
+                    json.dumps(metrics.snapshot()).encode("utf-8"),
+                    "application/json",
+                ),
+            )
+        elif fmt == "prometheus":
+            status, body, ctype = self.server.memo.get(
+                ("metrics", "prometheus"),
+                lambda: (
+                    200,
+                    metrics.to_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4",
+                ),
+            )
         else:
-            self._send(200, metrics.report().encode("utf-8"), "text/plain")
+            status, body, ctype = self.server.memo.get(
+                ("metrics", "text"),
+                lambda: (200, metrics.report().encode("utf-8"), "text/plain"),
+            )
+        self._send(status, body, ctype)
+
+    def _handle_healthz(self) -> None:
+        service = self.server.service
+        status, body, ctype = self.server.memo.get(
+            ("healthz",),
+            lambda: (
+                200 if service.healthy() else 503,
+                json.dumps(service.health()).encode("utf-8"),
+                "application/json",
+            ),
+        )
+        self._send(status, body, ctype)
+
+    def _handle_traces(self, params: dict[str, str]) -> None:
+        recorder = self.server.service.recorder
+        limit = int(params["limit"]) if "limit" in params else None
+        self._send_json(
+            200,
+            {
+                "tracing_enabled": trace.enabled(),
+                "stats": recorder.stats(),
+                "traces": recorder.dump(limit),
+            },
+        )
+
+
+class _ScrapeMemo:
+    """TTL memoization of scrape-endpoint responses.
+
+    ``/metrics`` and ``/healthz`` walk every registered metric (and pull
+    gauges that take other subsystems' locks); a monitoring stack
+    polling several formats at sub-second intervals would contend with
+    query traffic for those locks. Responses are cached per key for
+    ``ttl`` seconds — staleness is bounded and harmless for scrapes.
+    """
+
+    def __init__(self, ttl: float = 1.0) -> None:
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, tuple[float, object]] = {}
+
+    def get(self, key: tuple, build):
+        if self.ttl <= 0:
+            return build()
+        now = time.monotonic()
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None and now - hit[0] < self.ttl:
+                return hit[1]
+        value = build()
+        with self._lock:
+            self._entries[key] = (time.monotonic(), value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -471,25 +590,43 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        memo_ttl: float = 1.0,
+    ) -> None:
         super().__init__(address, _ServiceHandler)
         self.service = service
+        self.memo = _ScrapeMemo(ttl=memo_ttl)
 
 
 def make_server(
-    service: QueryService, host: str = "127.0.0.1", port: int = 8080
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    memo_ttl: float = 1.0,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) the HTTP front-end; ``port=0`` picks a
-    free port (see ``server.server_address``)."""
-    return ServiceHTTPServer((host, port), service)
+    free port (see ``server.server_address``). ``memo_ttl`` bounds the
+    staleness of memoized ``/metrics`` and ``/healthz`` responses
+    (0 disables memoization)."""
+    return ServiceHTTPServer((host, port), service, memo_ttl=memo_ttl)
 
 
 def serve_forever(service: QueryService, host: str = "127.0.0.1", port: int = 8080):
     """Blocking entry point used by ``python -m repro serve``."""
+    from repro.obs.logging import configure
+
+    configure()  # idempotent; a process-level CLI owns its log handler
     server = make_server(service, host, port)
     bound_host, bound_port = server.server_address[:2]
-    print(f"serving on http://{bound_host}:{bound_port} "
-          f"(endpoints: /topk /aggregate /metrics /healthz)")
+    _log.info(
+        "serving",
+        url=f"http://{bound_host}:{bound_port}",
+        endpoints=["/topk", "/aggregate", "/metrics", "/healthz", "/debug/traces"],
+        tracing=trace.enabled(),
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

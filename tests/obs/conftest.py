@@ -1,0 +1,54 @@
+"""Fixtures for the observability tests.
+
+Same deterministic MovieLens-like world as the serving tests (slightly
+smaller — these tests exercise plumbing, not index behaviour), plus a
+guard fixture that fails any test leaking global tracing state.
+"""
+
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.kg.generators import movielens_like
+from repro.obs import trace
+from repro.query.engine import EngineConfig, QueryEngine
+
+
+def _world():
+    return movielens_like(
+        num_users=60,
+        num_movies=140,
+        num_genres=6,
+        num_tags=12,
+        num_ratings=1200,
+        seed=9,
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return _world()
+
+
+@pytest.fixture
+def make_engine():
+    def factory(index: str = "cracking") -> QueryEngine:
+        graph, world = _world()
+        model = PretrainedEmbedding.from_world(graph, world, dim=16, seed=0)
+        return QueryEngine.from_graph(
+            graph, EngineConfig(index=index, epsilon=0.5), model=model
+        )
+
+    return factory
+
+
+@pytest.fixture
+def engine(make_engine):
+    return make_engine()
+
+
+@pytest.fixture(autouse=True)
+def tracing_state_guard():
+    """Tracing is globally off outside a test's own enable window."""
+    assert not trace.enabled(), "a previous test leaked trace.enable()"
+    yield
+    trace.disable()

@@ -1,0 +1,177 @@
+"""Registry, histogram boundary math, atomic snapshots, exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.metrics import ServingMetrics
+
+
+# -- histogram boundary interpolation (the percentile fix) ------------------
+
+
+def test_single_sample_reports_itself_at_every_quantile():
+    hist = Histogram()
+    hist.observe(0.0123)
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert hist.quantile(q) == pytest.approx(0.0123, abs=1e-12), q
+
+
+def test_identical_samples_report_the_observation():
+    hist = Histogram()
+    for _ in range(50):
+        hist.observe(0.0042)
+    snap = hist.snapshot()
+    assert snap["p50"] == pytest.approx(0.0042, abs=1e-12)
+    assert snap["p99"] == pytest.approx(0.0042, abs=1e-12)
+    assert snap["min_seconds"] == snap["max_seconds"] == 0.0042
+
+
+def test_quantiles_never_leave_the_observed_range():
+    hist = Histogram()
+    values = [0.0011, 0.0017, 0.093, 0.094, 0.6]
+    for value in values:
+        hist.observe(value)
+    for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+        assert min(values) <= hist.quantile(q) <= max(values)
+
+
+def test_single_sample_in_overflow_bucket():
+    hist = Histogram(bounds=(0.001, 0.01))
+    hist.observe(7.5)
+    assert hist.quantile(0.99) == 7.5
+
+
+# -- atomic snapshots under concurrency -------------------------------------
+
+
+def test_histogram_snapshot_is_consistent_under_concurrent_observe():
+    hist = Histogram()
+    stop = threading.Event()
+
+    def writer():
+        value = 0.0001
+        while not stop.is_set():
+            hist.observe(value)
+            value = value * 1.1 if value < 1.0 else 0.0001
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(200):
+            snap = hist.snapshot()
+            # The bucket total must equal the count in the same snapshot:
+            # a half-applied observe can never be visible.
+            assert sum(snap["buckets"].values()) == snap["count"]
+            if snap["count"]:
+                assert snap["min_seconds"] <= snap["p50"] <= snap["max_seconds"]
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
+def test_serving_metrics_snapshot_is_one_consistent_cut():
+    metrics = ServingMetrics()
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            metrics.record_request(0.003, cache_hit=False)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(200):
+            snap = metrics.snapshot()
+            # requests is incremented in the same locked section as the
+            # latency observation, so the two can never disagree.
+            assert snap["counters"]["requests"] == snap["latency"]["count"]
+            assert (
+                snap["counters"]["cache_hits"] + snap["counters"]["cache_misses"]
+                == snap["counters"]["requests"]
+            )
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_creates_on_first_use_and_reuses():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    registry.counter("a").inc(3)
+    assert registry.counters() == {"a": 3}
+
+
+def test_gauge_pull_errors_never_break_a_scrape():
+    registry = MetricsRegistry()
+    registry.gauge("broken", fn=lambda: 1 / 0)
+    value = registry.gauges()["broken"]
+    assert isinstance(value, str) and value.startswith("error:")
+
+
+def test_counter_and_gauge_standalone():
+    counter = Counter("hits")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = Gauge("depth")
+    gauge.set(17)
+    assert gauge.read() == 17
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def test_prometheus_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(12)
+    hist = registry.histogram("latency_seconds", bounds=(0.001, 0.01, 0.1))
+    hist.observe(0.0005)
+    hist.observe(0.05)
+    hist.observe(5.0)  # overflow
+    registry.gauge("pool", fn=lambda: {"depth": 3, "workers": [1, 1], "label": "x"})
+
+    text = registry.to_prometheus(prefix="repro")
+    lines = text.strip().splitlines()
+
+    assert "# TYPE repro_requests_total counter" in lines
+    assert "repro_requests_total 12" in lines
+    assert "# TYPE repro_latency_seconds histogram" in lines
+    # Cumulative buckets, +Inf last and equal to the total count.
+    bucket_lines = [line for line in lines if "_bucket{" in line]
+    assert bucket_lines == [
+        'repro_latency_seconds_bucket{le="0.001"} 1',
+        'repro_latency_seconds_bucket{le="0.01"} 1',
+        'repro_latency_seconds_bucket{le="0.1"} 2',
+        'repro_latency_seconds_bucket{le="+Inf"} 3',
+    ]
+    assert "repro_latency_seconds_count 3" in lines
+    assert any(line.startswith("repro_latency_seconds_sum ") for line in lines)
+    # Structured gauges flatten to numeric leaves; strings are skipped.
+    assert "repro_pool_depth 3" in lines
+    assert 'repro_pool_workers{index="0"} 1' in lines
+    assert not any("label" in line for line in lines)
+    assert text.endswith("\n")
+
+
+def test_serving_metrics_prometheus_includes_service_gauges():
+    metrics = ServingMetrics(queue_depth=lambda: 4)
+    metrics.record_request(0.002)
+    text = metrics.to_prometheus()
+    assert "repro_requests_total 1" in text
+    assert "repro_request_latency_seconds_count 1" in text
+    assert "repro_queue_depth 4" in text
+
+
+def test_serving_metrics_unknown_counter_still_raises():
+    with pytest.raises(KeyError):
+        ServingMetrics().increment("nonsense")

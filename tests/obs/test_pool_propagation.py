@@ -1,0 +1,85 @@
+"""Span propagation across the EnginePool thread handoff."""
+
+import threading
+
+from repro.obs import trace
+from repro.service.pool import EnginePool
+
+
+class _FakeEngine:
+    pass
+
+
+def test_worker_spans_parent_to_the_submitting_trace():
+    main_thread = threading.current_thread().name
+    seen_threads = []
+
+    def work(engine):
+        seen_threads.append(threading.current_thread().name)
+        with trace.span("engine.work") as sp:
+            sp.set_attribute("ok", True)
+        return 42
+
+    with EnginePool(_FakeEngine(), workers=2) as pool:
+        with trace.capture() as records:
+            with trace.span("request.root"):
+                assert pool.execute(work) == 42
+
+    assert seen_threads and seen_threads[0] != main_thread
+    record = records[0]
+    root = record.find("request.root")
+    queue_wait = record.find("pool.queue_wait")
+    execute = record.find("pool.execute")
+    inner = record.find("engine.work")
+
+    # The pool's spans are children of the submitting request's root...
+    assert queue_wait["parent_id"] == root["span_id"]
+    assert execute["parent_id"] == root["span_id"]
+    # ...and a span opened by engine code on the worker thread nests
+    # inside the pool.execute span, in the same trace.
+    assert inner["parent_id"] == execute["span_id"]
+    assert inner["attributes"] == {"ok": True}
+    assert execute["attributes"]["worker"].startswith("repro-pool-")
+    assert queue_wait["duration_seconds"] >= 0.0
+
+
+def test_concurrent_requests_get_disjoint_traces():
+    def work(engine):
+        with trace.span("engine.work"):
+            pass
+        return threading.current_thread().name
+
+    with EnginePool([_FakeEngine(), _FakeEngine()], workers=2) as pool:
+        with trace.capture() as records:
+            def one_request(i):
+                with trace.span("request.root", i=i):
+                    pool.execute(work)
+
+            threads = [
+                threading.Thread(target=one_request, args=(i,)) for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+    assert len(records) == 6
+    trace_ids = {record.trace_id for record in records}
+    assert len(trace_ids) == 6  # no cross-request span leakage
+    for record in records:
+        assert record.find("engine.work") is not None
+        assert record.find("pool.execute") is not None
+        execute = record.find("pool.execute")
+        assert record.find("engine.work")["parent_id"] == execute["span_id"]
+
+
+def test_untraced_requests_skip_context_capture():
+    captured = []
+
+    def work(engine):
+        captured.append(trace.current_span())
+        return "ok"
+
+    with EnginePool(_FakeEngine(), workers=1) as pool:
+        assert pool.execute(work) == "ok"
+    assert captured == [None]

@@ -1,0 +1,119 @@
+"""Flight recorder ring semantics and structured JSON logging."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.logging import JsonFormatter, get_logger
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TraceRecord
+
+
+def _record(duration: float, name: str = "root") -> TraceRecord:
+    return TraceRecord(
+        trace_id="t1", root_name=name, duration_seconds=duration, spans=()
+    )
+
+
+# -- recorder ----------------------------------------------------------------
+
+
+def test_recorder_threshold_filters_fast_traces():
+    recorder = FlightRecorder(capacity=8, threshold_seconds=0.1)
+    recorder.record(_record(0.05))
+    recorder.record(_record(0.15))
+    recorder.record(_record(0.10))
+    assert [r.duration_seconds for r in recorder.traces()] == [0.15, 0.10]
+    stats = recorder.stats()
+    assert stats["seen"] == 3 and stats["recorded"] == 2 and stats["evicted"] == 0
+
+
+def test_recorder_ring_evicts_oldest():
+    recorder = FlightRecorder(capacity=3)
+    for i in range(5):
+        recorder.record(_record(float(i), name=f"q{i}"))
+    assert [r.root_name for r in recorder.traces()] == ["q2", "q3", "q4"]
+    assert recorder.stats()["evicted"] == 2
+    assert recorder.last().root_name == "q4"
+    assert [r["root_name"] for r in recorder.dump(limit=2)] == ["q3", "q4"]
+
+
+def test_recorder_dump_is_json_serializable_end_to_end():
+    recorder = FlightRecorder(capacity=4)
+    trace.add_listener(recorder.record)
+    try:
+        trace.enable()
+        with trace.span("service.topk", k=5) as sp:
+            sp.add_event("note", detail="x")
+            with trace.span("index.search"):
+                pass
+    finally:
+        trace.disable()
+        trace.remove_listener(recorder.record)
+    payload = json.loads(json.dumps(recorder.dump()))
+    assert payload[0]["root_name"] == "service.topk"
+    names = [span["name"] for span in payload[0]["spans"]]
+    assert names == ["index.search", "service.topk"]
+
+
+def test_recorder_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(threshold_seconds=-1)
+
+
+# -- structured logging ------------------------------------------------------
+
+
+def _capture_logger(name: str):
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    logger = logging.getLogger(name)
+    logger.setLevel(logging.DEBUG)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return stream, handler, logger
+
+
+def test_log_lines_are_json_with_fields():
+    stream, handler, raw = _capture_logger("repro.test.fields")
+    try:
+        log = get_logger("repro.test.fields")
+        log.info("query served", k=5, elapsed_ms=1.25)
+    finally:
+        raw.removeHandler(handler)
+    line = json.loads(stream.getvalue().strip())
+    assert line["message"] == "query served"
+    assert line["level"] == "info"
+    assert line["logger"] == "repro.test.fields"
+    assert line["k"] == 5 and line["elapsed_ms"] == 1.25
+    assert "trace_id" not in line  # no active trace
+
+
+def test_log_lines_join_to_the_active_trace():
+    stream, handler, raw = _capture_logger("repro.test.traced")
+    try:
+        log = get_logger("repro.test.traced")
+        with trace.capture() as records:
+            with trace.span("root"):
+                log.warning("mid-span event")
+    finally:
+        raw.removeHandler(handler)
+    line = json.loads(stream.getvalue().strip())
+    record = records[0]
+    assert line["trace_id"] == record.trace_id
+    assert line["span_id"] == record.find("root")["span_id"]
+
+
+def test_configure_is_idempotent():
+    from repro.obs.logging import configure
+
+    root = configure()
+    count = len(root.handlers)
+    assert configure() is root
+    assert len(root.handlers) == count

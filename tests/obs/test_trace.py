@@ -1,0 +1,162 @@
+"""Unit tests for the tracing core: spans, context, delivery, no-op path."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import NOOP_SPAN
+
+
+def test_disabled_tracing_is_the_noop_singleton():
+    assert not trace.enabled()
+    # Every call site gets the same pre-allocated object: no allocation,
+    # no trace state, nothing delivered.
+    assert trace.span("index.search") is NOOP_SPAN
+    assert trace.span("anything.else") is NOOP_SPAN
+    assert trace.current_span() is None
+    with trace.span("a") as sp:
+        assert sp is NOOP_SPAN
+        assert not sp.is_recording
+        sp.set_attribute("k", 5)
+        sp.add_event("event")
+    trace.record_span("queue_wait", 0.5)  # silently dropped
+
+
+def test_noop_span_survives_exceptions_without_recording():
+    delivered = []
+    trace.add_listener(delivered.append)
+    try:
+        with pytest.raises(RuntimeError):
+            with trace.span("x"):
+                raise RuntimeError("boom")
+    finally:
+        trace.remove_listener(delivered.append)
+    assert delivered == []
+
+
+def test_span_nesting_parents_and_delivery():
+    with trace.capture() as records:
+        with trace.span("root", k=3) as root:
+            assert trace.current_span() is root
+            assert root.is_recording
+            with trace.span("child") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+                child.set_attribute("n", 7)
+            assert trace.current_span() is root
+        assert trace.current_span() is None
+
+    assert len(records) == 1
+    record = records[0]
+    assert record.root_name == "root"
+    assert record.span_names() == ["child", "root"]  # completion order
+    root_span = record.find("root")
+    child_span = record.find("child")
+    assert root_span["parent_id"] is None
+    assert root_span["attributes"] == {"k": 3}
+    assert child_span["parent_id"] == root_span["span_id"]
+    assert child_span["attributes"] == {"n": 7}
+    assert record.duration_seconds >= child_span["duration_seconds"] >= 0.0
+    assert child_span["start_offset_seconds"] >= root_span["start_offset_seconds"]
+
+
+def test_child_spans_deliver_only_with_the_root():
+    with trace.capture() as records:
+        with trace.span("root"):
+            with trace.span("child"):
+                pass
+            assert records == []  # child done, root still open
+    assert len(records) == 1
+
+
+def test_exception_is_recorded_and_reraised():
+    with trace.capture() as records:
+        with pytest.raises(ValueError):
+            with trace.span("failing"):
+                raise ValueError("bad")
+    assert records[0].find("failing")["attributes"]["error"] == "ValueError"
+
+
+def test_record_span_backdates_a_finished_child():
+    with trace.capture() as records:
+        with trace.span("root"):
+            trace.record_span("queue_wait", 0.25, depth=3)
+    record = records[0]
+    wait = record.find("queue_wait")
+    assert wait["duration_seconds"] == 0.25
+    assert wait["attributes"] == {"depth": 3}
+    assert wait["parent_id"] == record.find("root")["span_id"]
+    # Backdated: it started before it was recorded, never before the trace.
+    assert wait["start_offset_seconds"] >= 0.0
+
+
+def test_record_span_without_a_parent_is_dropped():
+    with trace.capture() as records:
+        trace.record_span("orphan", 0.1)
+    assert records == []
+
+
+def test_events_carry_offsets_and_attributes():
+    with trace.capture() as records:
+        with trace.span("root") as sp:
+            sp.add_event("chaos.fired", point="pool.worker", delay=0.01)
+    events = records[0].find("root")["events"]
+    assert len(events) == 1
+    assert events[0]["name"] == "chaos.fired"
+    assert events[0]["attributes"] == {"point": "pool.worker", "delay": 0.01}
+    assert events[0]["offset_seconds"] >= 0.0
+
+
+def test_crashing_listener_does_not_break_delivery():
+    good: list = []
+
+    def bad_listener(record):
+        raise RuntimeError("listener bug")
+
+    trace.add_listener(bad_listener)
+    trace.add_listener(good.append)
+    try:
+        trace.enable()
+        with trace.span("root"):
+            pass
+    finally:
+        trace.disable()
+        trace.remove_listener(bad_listener)
+        trace.remove_listener(good.append)
+    assert len(good) == 1
+
+
+def test_spans_cross_threads_within_one_trace():
+    """A span opened on another thread under a copied context parents to
+    the originating trace (the EnginePool handoff contract)."""
+    import contextvars
+
+    with trace.capture() as records:
+        with trace.span("root"):
+            ctx = contextvars.copy_context()
+
+            def work():
+                with trace.span("worker.side"):
+                    pass
+
+            thread = threading.Thread(target=lambda: ctx.run(work))
+            thread.start()
+            thread.join()
+
+    record = records[0]
+    worker_span = record.find("worker.side")
+    assert worker_span is not None
+    assert worker_span["parent_id"] == record.find("root")["span_id"]
+
+
+def test_render_is_human_readable():
+    with trace.capture() as records:
+        with trace.span("root", k=5) as sp:
+            sp.add_event("note", value=1)
+            with trace.span("inner"):
+                pass
+    text = trace.render(records[0])
+    assert "root" in text and "inner" in text and "note" in text
+    assert "k=5" in text
+    assert "ms" in text
