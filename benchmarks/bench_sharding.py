@@ -1,0 +1,49 @@
+"""Sharded scatter-gather micro-benchmark: N shard trees vs one tree.
+
+Runs :func:`repro.bench.sharding.run_sharding_benchmark` once per
+backend and records the speedup and skew diagnostics via
+pytest-benchmark's ``extra_info``. Correctness (0 mismatches against
+the single-tree baseline) is asserted here; the >=1.8x speedup bound is
+*not* — that gate is CPU-dependent and enforced by
+``python -m repro.bench.sharding --check`` on the multi-core CI runner.
+"""
+
+from conftest import run_once
+
+from repro.bench.sharding import run_sharding_benchmark
+
+
+def _record(benchmark, result):
+    benchmark.extra_info.update(
+        {
+            "shards": result.shards,
+            "backend": result.backend,
+            "baseline_qps": round(result.baseline_qps, 1),
+            "sharded_qps": round(result.sharded_qps, 1),
+            "speedup": round(result.speedup, 3),
+            "p50_ms": round(result.sharded_p50_ms, 3),
+            "mismatches": result.mismatches,
+            "busy_skew": result.busy_skew,
+        }
+    )
+    assert result.mismatches == 0
+
+
+def test_sharded_thread_backend(benchmark, scale):
+    def run():
+        return run_sharding_benchmark(
+            scale=scale, num_queries=int(300 * scale), backend="thread"
+        )
+
+    result = run_once(benchmark, run)
+    _record(benchmark, result)
+
+
+def test_sharded_fork_backend(benchmark, scale):
+    def run():
+        return run_sharding_benchmark(
+            scale=scale, num_queries=int(300 * scale), backend="fork"
+        )
+
+    result = run_once(benchmark, run)
+    _record(benchmark, result)

@@ -1,0 +1,213 @@
+"""Sharded scatter-gather benchmark: N shard trees vs one tree.
+
+Replays one workload through two services built over the same dataset
+and embedding:
+
+- **baseline** — a single-tree engine; the pool serializes every query
+  onto one checkout (the online-index regime);
+- **sharded** — a :class:`~repro.shard.ShardedEngine` whose N shard
+  trees answer scatter-gather, checked out concurrently by every
+  worker.
+
+Both runs warm up with one full replay pass (cracking the trees to
+their steady shape) and measure the second pass; the result cache is
+effectively off (capacity 1) so the measurement is index work, not
+cache hits. Epsilon defaults to 1.0 — wide enough that both engines
+return the exact top-k on the bench datasets, so the reported
+``mismatches`` doubles as a correctness check (0 expected).
+
+The speedup is physical parallelism, so the backend matters: the
+``fork`` backend (default) runs one shard per process and is the
+configuration the CI gate checks with::
+
+    python -m repro.bench.sharding --check --min-speedup 1.8
+
+The thread backend shares the GIL and only overlaps numpy sections; on
+a single-CPU machine neither backend can beat 1x — gate only on
+multi-core runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+
+from repro.bench.datasets import BenchDataset, movie_dataset
+from repro.bench.workloads import make_workload
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.service.replay import replay
+from repro.service.server import QueryService
+from repro.shard import ShardedEngine
+
+
+@dataclass(frozen=True)
+class ShardingBenchResult:
+    """One baseline-vs-sharded replay comparison."""
+
+    shards: int
+    workers: int
+    backend: str
+    scheme: str
+    queries: int
+    baseline_qps: float
+    sharded_qps: float
+    speedup: float
+    baseline_p50_ms: float
+    sharded_p50_ms: float
+    mismatches: int
+    busy_skew: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.shards} shards ({self.scheme}, {self.backend}) vs 1 tree, "
+            f"{self.workers} workers, {self.queries} queries: "
+            f"{self.baseline_qps:.0f} -> {self.sharded_qps:.0f} qps "
+            f"({self.speedup:.2f}x), p50 {self.baseline_p50_ms:.2f} -> "
+            f"{self.sharded_p50_ms:.2f} ms, {self.mismatches} mismatches, "
+            f"shard busy skew {self.busy_skew:.2f}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "workers": self.workers,
+            "backend": self.backend,
+            "scheme": self.scheme,
+            "queries": self.queries,
+            "baseline_qps": self.baseline_qps,
+            "sharded_qps": self.sharded_qps,
+            "speedup": self.speedup,
+            "baseline_p50_ms": self.baseline_p50_ms,
+            "sharded_p50_ms": self.sharded_p50_ms,
+            "mismatches": self.mismatches,
+            "busy_skew": self.busy_skew,
+        }
+
+
+def _warmed_replay(engine, workload, k: int, workers: int, threads: int):
+    """One warm-up pass, then the measured pass, on a fresh service.
+
+    ``cache_capacity=1`` keeps the result cache out of the measurement:
+    a warmed replay of a repeating workload would otherwise serve
+    (almost) everything from the cache and time nothing.
+    """
+    with QueryService(engine, workers=workers, cache_capacity=1) as service:
+        replay(service, workload, k=k, threads=threads)
+        return replay(service, workload, k=k, threads=threads)
+
+
+def run_sharding_benchmark(
+    dataset: BenchDataset | None = None,
+    scale: float = 1.0,
+    num_queries: int = 500,
+    k: int = 5,
+    shards: int = 4,
+    workers: int = 4,
+    threads: int = 4,
+    backend: str = "fork",
+    scheme: str = "hash",
+    seed: int = 23,
+    epsilon: float = 1.0,
+) -> ShardingBenchResult:
+    """Measure sharded scatter-gather against the single-tree baseline."""
+    if dataset is None:
+        dataset = movie_dataset(scale)
+    config = EngineConfig(index="cracking", epsilon=epsilon)
+    workload = make_workload(dataset.graph, num_queries, seed=seed, skew=0.0)
+
+    baseline_engine = QueryEngine.from_graph(
+        dataset.graph, config, model=dataset.model
+    )
+    baseline = _warmed_replay(baseline_engine, workload, k, workers, threads)
+
+    sharded_engine = ShardedEngine.from_engine(
+        QueryEngine.from_graph(dataset.graph, config, model=dataset.model),
+        shards=shards,
+        scheme=scheme,
+        backend=backend,
+    )
+    stats = {}
+    with QueryService(sharded_engine, workers=workers, cache_capacity=1) as service:
+        replay(service, workload, k=k, threads=threads)
+        sharded = replay(service, workload, k=k, threads=threads)
+        stats = service.engine.shard_stats()
+
+    mismatches = sum(
+        1
+        for mine, theirs in zip(baseline.results, sharded.results)
+        if mine is None
+        or theirs is None
+        or mine.entities != theirs.entities
+        or mine.distances != theirs.distances
+    )
+    return ShardingBenchResult(
+        shards=shards,
+        workers=workers,
+        backend=backend,
+        scheme=scheme,
+        queries=num_queries,
+        baseline_qps=baseline.throughput_qps,
+        sharded_qps=sharded.throughput_qps,
+        speedup=sharded.throughput_qps / max(baseline.throughput_qps, 1e-9),
+        baseline_p50_ms=baseline.percentile(0.50) * 1e3,
+        sharded_p50_ms=sharded.percentile(0.50) * 1e3,
+        mismatches=mismatches,
+        busy_skew=float(stats.get("busy_skew", 1.0)),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.sharding", description=__doc__
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--queries", type=int, default=500)
+    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--backend", choices=["thread", "fork"], default="fork")
+    parser.add_argument("--scheme", choices=["hash", "kd"], default="hash")
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any result mismatch or a speedup below --min-speedup",
+    )
+    parser.add_argument("--min-speedup", type=float, default=1.8)
+    args = parser.parse_args(argv)
+
+    result = run_sharding_benchmark(
+        scale=args.scale,
+        num_queries=args.queries,
+        k=args.k,
+        shards=args.shards,
+        workers=args.workers,
+        threads=args.threads,
+        backend=args.backend,
+        scheme=args.scheme,
+        seed=args.seed,
+        epsilon=args.epsilon,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.summary())
+    if args.check:
+        if result.mismatches:
+            print(f"FAIL: {result.mismatches} sharded results diverged from baseline")
+            return 1
+        if result.speedup < args.min_speedup:
+            print(
+                f"FAIL: speedup {result.speedup:.2f}x below the "
+                f"{args.min_speedup:.1f}x bound"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

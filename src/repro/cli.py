@@ -91,6 +91,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="flight-recorder latency threshold in seconds")
     p.add_argument("--trace-capacity", type=int, default=64,
                    help="flight-recorder ring size")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the index into N shard trees (scatter-gather)")
+    p.add_argument("--shard-scheme", choices=["hash", "kd"], default="hash")
+    p.add_argument("--shard-backend", choices=["thread", "fork"], default="thread",
+                   help="fork runs shards as processes (static top-k only)")
 
     p = sub.add_parser(
         "trace", help="replay one query with tracing on and print the span tree"
@@ -117,6 +122,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--skew", type=float, default=0.0)
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--cache-size", type=int, default=2048)
+    p.add_argument("--shards", type=int, default=1,
+                   help="replay against a sharded engine with N shard trees")
+    p.add_argument("--shard-scheme", choices=["hash", "kd"], default="hash")
+    p.add_argument("--shard-backend", choices=["thread", "fork"], default="thread")
 
     p = sub.add_parser(
         "recover", help="recover an artifact: load the snapshot, replay its WAL"
@@ -124,6 +133,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--artifact", required=True)
     p.add_argument("--compact", action="store_true",
                    help="write a fresh snapshot and truncate the WAL afterwards")
+    p.add_argument("--shards", type=int, default=1,
+                   help="re-shard the snapshot before WAL replay")
+    p.add_argument("--shard-scheme", choices=["hash", "kd"], default="hash")
 
     p = sub.add_parser("bench", help="run the benchmark harness")
     p.add_argument("--figure", default="all")
@@ -285,6 +297,13 @@ def _cmd_serve(args) -> int:
     if args.trace:
         trace.enable()
     engine = load_engine(args.artifact)
+    if args.shards > 1:
+        from repro.shard import ShardedEngine
+
+        engine = ShardedEngine.from_engine(
+            engine, shards=args.shards, scheme=args.shard_scheme,
+            backend=args.shard_backend,
+        )
     service = QueryService(
         engine,
         workers=args.workers,
@@ -370,6 +389,13 @@ def _cmd_replay(args) -> int:
     from repro.service.server import QueryService
 
     engine = load_engine(args.artifact)
+    if args.shards > 1:
+        from repro.shard import ShardedEngine
+
+        engine = ShardedEngine.from_engine(
+            engine, shards=args.shards, scheme=args.shard_scheme,
+            backend=args.shard_backend,
+        )
     workload = make_workload(
         engine.graph, args.queries, seed=args.seed, skew=args.skew
     )
@@ -394,7 +420,11 @@ def _cmd_recover(args) -> int:
     from repro.resilience.recovery import recover_engine
     from repro.resilience.wal import DurableUpdater
 
-    engine, report = recover_engine(args.artifact)
+    engine, report = recover_engine(
+        args.artifact,
+        shards=args.shards if args.shards > 1 else None,
+        scheme=args.shard_scheme,
+    )
     print(report.summary())
     if args.compact:
         # The DurableUpdater picks its LSN up from the existing WAL, so the

@@ -10,6 +10,8 @@ structure than the cracking index ever materialises.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.index.geometry import Rect
 from repro.index.rtree_base import RTreeBase
 from repro.index.store import PointStore
@@ -24,8 +26,9 @@ class BulkLoadedRTree(RTreeBase):
         leaf_capacity: int = 32,
         fanout: int = 8,
         beta: float = 1.5,
+        ids: np.ndarray | None = None,
     ) -> None:
-        super().__init__(store, leaf_capacity, fanout, beta)
+        super().__init__(store, leaf_capacity, fanout, beta, ids=ids)
         # Offline full expansion: query=None disables the stopping
         # condition, so every partition is split down to leaves.
         super().refine(None)

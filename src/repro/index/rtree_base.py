@@ -47,6 +47,10 @@ class RTreeBase:
     beta:
         Overlap-cost height weight (``beta >= 1``; overlaps higher in the
         tree cost more, Section IV-B1).
+    ids:
+        Optional id subset to index (defaults to every row of the
+        store). Shard trees index disjoint subsets of one shared store;
+        tree height is sized to the subset, not the store.
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class RTreeBase:
         leaf_capacity: int = 32,
         fanout: int = 8,
         beta: float = 1.5,
+        ids: np.ndarray | None = None,
     ) -> None:
         if leaf_capacity < 1:
             raise IndexError_("leaf_capacity must be >= 1")
@@ -69,9 +74,14 @@ class RTreeBase:
         self.counters = AccessCounters()
         self._splits_performed = 0
         self._overlap_cost_total = 0.0
-        all_ids = np.arange(store.size)
+        if ids is None:
+            all_ids = np.arange(store.size)
+        else:
+            all_ids = np.asarray(ids, dtype=np.int64)
+            if len(all_ids) == 0:
+                raise IndexError_("cannot index an empty id subset")
         root_partition = Partition.from_ids(store, all_ids)
-        self._height = self._tree_height(store.size)
+        self._height = self._tree_height(len(all_ids))
         self.root: TreeEntry = FrontierEntry(
             root_partition, height=self._height, chunk_root=True
         )

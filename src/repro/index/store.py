@@ -105,3 +105,66 @@ class PointStore:
 
     def release_mask(self, true_ids: np.ndarray) -> None:
         self._scratch_mask[true_ids] = False
+
+
+class ShardStoreView:
+    """A per-shard facade over a shared :class:`PointStore`.
+
+    Shard trees index disjoint id subsets of one global store, but the
+    scratch mask used by consistent sort-order splits is borrow/release
+    state: two shards cracking concurrently through the *same* store
+    would corrupt each other's borrowed mask. The view gives each shard
+    a private mask while delegating every coordinate access — including
+    appends, which may reallocate the parent buffer — to the parent, so
+    all shards always see one consistent coordinate matrix.
+    """
+
+    def __init__(self, parent: PointStore) -> None:
+        self._parent = parent
+        self._mask = np.zeros(len(parent._buffer), dtype=bool)
+
+    # -- delegated surface -------------------------------------------------
+
+    @property
+    def coords(self) -> np.ndarray:
+        return self._parent.coords
+
+    @property
+    def size(self) -> int:
+        return self._parent.size
+
+    @property
+    def dim(self) -> int:
+        return self._parent.dim
+
+    def append(self, point: np.ndarray) -> int:
+        return self._parent.append(point)
+
+    def update_row(self, ident: int, point: np.ndarray) -> None:
+        self._parent.update_row(ident, point)
+
+    def points_of(self, ids: np.ndarray) -> np.ndarray:
+        return self._parent.points_of(ids)
+
+    def mbr_of(self, ids: np.ndarray) -> Rect:
+        return self._parent.mbr_of(ids)
+
+    def ids_in_rect(self, ids: np.ndarray, rect: Rect) -> np.ndarray:
+        return self._parent.ids_in_rect(ids, rect)
+
+    def count_in_rect(self, ids: np.ndarray, rect: Rect) -> int:
+        return self._parent.count_in_rect(ids, rect)
+
+    # -- private scratch mask ----------------------------------------------
+
+    def borrow_mask(self, true_ids: np.ndarray) -> np.ndarray:
+        if len(self._mask) < len(self._parent._buffer):
+            # The parent buffer grew (append reallocates); grow lazily.
+            grown = np.zeros(len(self._parent._buffer), dtype=bool)
+            grown[: len(self._mask)] = self._mask
+            self._mask = grown
+        self._mask[true_ids] = True
+        return self._mask
+
+    def release_mask(self, true_ids: np.ndarray) -> None:
+        self._mask[true_ids] = False

@@ -57,6 +57,7 @@ class TopKSplitsRTree(RTreeBase):
         fanout: int = 8,
         beta: float = 1.5,
         max_expansions: int = 120,
+        ids=None,
     ) -> None:
         if num_choices < 1:
             raise IndexError_("num_choices must be >= 1")
@@ -64,7 +65,7 @@ class TopKSplitsRTree(RTreeBase):
             raise IndexError_("max_expansions must be >= 1")
         self.num_choices = num_choices
         self.max_expansions = max_expansions
-        super().__init__(store, leaf_capacity, fanout, beta)
+        super().__init__(store, leaf_capacity, fanout, beta, ids=ids)
 
     def crack_and_search(self, query: Rect):
         """Refine with A* split search for ``query`` and return the ids

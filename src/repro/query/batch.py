@@ -1,10 +1,12 @@
 """Batch execution of top-k queries.
 
-Executes a batch of (entity, relation, direction) queries against one
-engine with three optimisations a single-query loop does not get:
+Executes a batch of top-k queries — given as :class:`BatchQuery`
+records or full :class:`~repro.query.spec.QuerySpec` objects — against
+one engine with three optimisations a single-query loop does not get:
 
 - **deduplication** — repeated queries (common in recommendation
-  serving) are answered once and fanned out;
+  serving) are answered once and fanned out; specs are hashable, so the
+  spec itself is the dedup key;
 - **result-cache routing** — when a serving-layer result cache is
   attached to the engine (``engine.result_cache``, set by
   :class:`repro.service.server.QueryService`), cached queries are
@@ -18,20 +20,25 @@ engine with three optimisations a single-query loop does not get:
   in database queries, this optimization has a lasting benefit").
 
 Results are returned in the input order regardless of execution order.
+Aggregate-shaped specs are rejected up front with a
+:class:`~repro.errors.ServiceError` — batching is a top-k optimisation
+(dedup + cache + locality), and silently skipping non-topk work would
+corrupt the positional result list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ServiceError
+from repro.query.spec import QuerySpec
 from repro.query.topk import TopKResult
 from repro.service.cache import QueryKey
 
 
 @dataclass(frozen=True, slots=True)
 class BatchQuery:
-    """One query of a batch."""
+    """One query of a batch (legacy shorthand for a top-k spec)."""
 
     entity: int
     relation: int
@@ -55,63 +62,88 @@ class BatchReport:
         return self.unique_executed / self.total_queries
 
 
-def run_batch(engine, queries: list[BatchQuery], k: int) -> BatchReport:
-    """Execute ``queries`` against ``engine`` and return a report.
-
-    Raises :class:`~repro.errors.QueryError` on an invalid direction;
-    entity/relation validation happens per query inside the engine.
-    """
-    for query in queries:
+def _as_spec(query, k: int) -> QuerySpec:
+    """Normalize a batch item to a top-k QuerySpec (validating it)."""
+    if isinstance(query, QuerySpec):
+        if query.mode != "topk":
+            raise ServiceError(
+                "run_batch executes top-k specs only; route aggregate "
+                "specs through QueryService.execute / QueryEngine.execute"
+            )
+        return query
+    if isinstance(query, BatchQuery):
         if query.direction not in ("tail", "head"):
             raise QueryError(f"bad direction {query.direction!r}")
-    unique = list(dict.fromkeys(queries))  # preserves first-seen order
+        return QuerySpec(
+            entity=query.entity, relation=query.relation,
+            direction=query.direction, k=k,
+        )
+    raise QueryError(f"batch items must be BatchQuery or QuerySpec, got {type(query)!r}")
+
+
+def run_batch(engine, queries: list, k: int = 10) -> BatchReport:
+    """Execute ``queries`` against ``engine`` and return a report.
+
+    ``queries`` may mix :class:`BatchQuery` records (which take their
+    ``k`` from the argument) and ready-made top-k :class:`QuerySpec`
+    objects (which carry their own). Raises
+    :class:`~repro.errors.QueryError` on an invalid direction and
+    :class:`~repro.errors.ServiceError` on aggregate-shaped specs;
+    entity/relation validation happens per query inside the engine.
+    """
+    specs = [_as_spec(query, k) for query in queries]
+    unique = list(dict.fromkeys(specs))  # preserves first-seen order
 
     # Route through the serving-layer result cache when one is attached.
+    # Only plain specs (no type filter, no epsilon override) share keys
+    # with the serving layer's cache namespace.
     cache = getattr(engine, "result_cache", None)
-    answers: dict[BatchQuery, TopKResult] = {}
+
+    def cache_key(spec: QuerySpec) -> QueryKey | None:
+        if spec.entity_type is not None or spec.epsilon is not None:
+            return None
+        return QueryKey(spec.entity, spec.relation, spec.direction, spec.k)
+
+    answers: dict[QuerySpec, TopKResult] = {}
     cache_hits = 0
-    pending: list[BatchQuery] = []
+    pending: list[QuerySpec] = []
     if cache is None:
         pending = unique
     else:
-        for query in unique:
-            cached = cache.get(
-                QueryKey(query.entity, query.relation, query.direction, k)
-            )
+        for spec in unique:
+            key = cache_key(spec)
+            cached = cache.get(key) if key is not None else None
             if cached is not None:
-                answers[query] = cached
+                answers[spec] = cached
                 cache_hits += 1
             else:
-                pending.append(query)
+                pending.append(spec)
 
     # Locality ordering: sort the queries to execute by their projected
     # query point's first coordinate (cheap, stable, and effective
     # because S2 is the space the index partitions). The projected key is
     # computed once per unique query, not once per comparison-and-again
     # at execution time.
-    def sort_key(query: BatchQuery) -> float:
-        if query.direction == "tail":
-            point = engine.model.tail_query_point(query.entity, query.relation)
+    def sort_key(spec: QuerySpec) -> float:
+        if spec.direction == "tail":
+            point = engine.model.tail_query_point(spec.entity, spec.relation)
         else:
-            point = engine.model.head_query_point(query.entity, query.relation)
+            point = engine.model.head_query_point(spec.entity, spec.relation)
         return float(engine.transform(point)[0])
 
-    projected = {query: sort_key(query) for query in pending}
+    projected = {spec: sort_key(spec) for spec in pending}
     ordered = sorted(pending, key=projected.__getitem__)
     points = 0
-    for query in ordered:
-        if query.direction == "tail":
-            result = engine.topk_tails(query.entity, query.relation, k)
-        else:
-            result = engine.topk_heads(query.entity, query.relation, k)
-        answers[query] = result
+    for spec in ordered:
+        result = engine.execute(spec).topk
+        answers[spec] = result
         points += result.points_examined
         if cache is not None:
-            cache.put(
-                QueryKey(query.entity, query.relation, query.direction, k), result
-            )
+            key = cache_key(spec)
+            if key is not None:
+                cache.put(key, result)
     return BatchReport(
-        results=[answers[q] for q in queries],
+        results=[answers[s] for s in specs],
         unique_executed=len(pending),
         total_queries=len(queries),
         points_examined=points,

@@ -11,6 +11,7 @@ truth.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,8 +28,18 @@ from repro.kg.graph import KnowledgeGraph
 from repro.obs import trace
 from repro.query.aggregates import AggregateEstimate, AggregateProcessor
 from repro.query.probability import InverseDistanceProbability
+from repro.query.spec import QueryResult, QuerySpec
 from repro.query.topk import TopKResult, find_topk
 from repro.transform.jl import JLTransform
+
+
+def _warn_deprecated(old: str) -> None:
+    warnings.warn(
+        f"QueryEngine.{old}() is deprecated; build a QuerySpec and call "
+        "execute(spec) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 #: Known index variant names accepted by :class:`EngineConfig.index`.
 INDEX_VARIANTS = ("cracking", "topk2", "topk3", "topk4", "bulk")
@@ -145,43 +156,86 @@ class QueryEngine:
             f"unknown index variant {config.index!r}; expected one of {INDEX_VARIANTS}"
         )
 
-    # -- top-k queries ---------------------------------------------------------
+    # -- the unified entrypoint ------------------------------------------------
+
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Run one query described by ``spec`` — the single entrypoint
+        every internal call site (pool, batch, replay, HTTP) uses.
+
+        Returns a :class:`QueryResult` whose ``topk`` or ``aggregate``
+        field is populated according to ``spec.mode``.
+        """
+        if spec.mode == "topk":
+            return QueryResult(spec=spec, topk=self._run_topk_spec(spec))
+        return QueryResult(spec=spec, aggregate=self._run_aggregate_spec(spec))
+
+    def _topk_request(self, spec: QuerySpec):
+        """Derive (query point, exclude set, allowed set) from a spec."""
+        if spec.direction == "tail":
+            exclude = set(self.graph.tails(spec.entity, spec.relation)) | {spec.entity}
+            query_point = self.model.tail_query_point(spec.entity, spec.relation)
+        else:
+            exclude = set(self.graph.heads(spec.entity, spec.relation)) | {spec.entity}
+            query_point = self.model.head_query_point(spec.entity, spec.relation)
+        return query_point, frozenset(exclude), self._allowed_of_type(spec.entity_type)
+
+    def _run_topk_spec(self, spec: QuerySpec) -> TopKResult:
+        """Top-k execution hook; :class:`repro.shard.ShardedEngine`
+        overrides this with the scatter-gather path."""
+        query_point, exclude, allowed = self._topk_request(spec)
+        epsilon = self.epsilon if spec.epsilon is None else spec.epsilon
+        return find_topk(
+            self.index,
+            self.s1_vectors,
+            self.transform,
+            query_point,
+            spec.k,
+            exclude=exclude,
+            epsilon=epsilon,
+            allowed=allowed,
+        )
+
+    def _run_aggregate_spec(self, spec: QuerySpec) -> AggregateEstimate:
+        query_point, exclude, _ = self._topk_request(spec)
+        return self._aggregates.estimate(
+            query_point,
+            spec.agg,
+            attribute=spec.attribute,
+            p_tau=spec.p_tau,
+            access_fraction=spec.access_fraction,
+            max_access=spec.max_access,
+            exclude=exclude,
+        )
+
+    # -- top-k queries (deprecated per-family wrappers) ------------------------
 
     def topk_tails(
         self, head: int, relation: int, k: int, entity_type: str | None = None
     ) -> TopKResult:
         """Top-k predicted tails of ``(head, relation, ?)`` (E' only).
 
-        ``entity_type`` restricts results to entities tagged with that
-        type (e.g. only movies), when the graph carries type tags.
+        .. deprecated:: use :meth:`execute` with a :class:`QuerySpec`.
         """
-        exclude = set(self.graph.tails(head, relation)) | {head}
-        return find_topk(
-            self.index,
-            self.s1_vectors,
-            self.transform,
-            self.model.tail_query_point(head, relation),
-            k,
-            exclude=frozenset(exclude),
-            epsilon=self.epsilon,
-            allowed=self._allowed_of_type(entity_type),
+        _warn_deprecated("topk_tails")
+        spec = QuerySpec(
+            entity=head, relation=relation, direction="tail", k=k,
+            entity_type=entity_type,
         )
+        return self.execute(spec).topk
 
     def topk_heads(
         self, tail: int, relation: int, k: int, entity_type: str | None = None
     ) -> TopKResult:
-        """Top-k predicted heads of ``(?, relation, tail)`` (E' only)."""
-        exclude = set(self.graph.heads(tail, relation)) | {tail}
-        return find_topk(
-            self.index,
-            self.s1_vectors,
-            self.transform,
-            self.model.head_query_point(tail, relation),
-            k,
-            exclude=frozenset(exclude),
-            epsilon=self.epsilon,
-            allowed=self._allowed_of_type(entity_type),
+        """Top-k predicted heads of ``(?, relation, tail)`` (E' only).
+
+        .. deprecated:: use :meth:`execute` with a :class:`QuerySpec`.
+        """
+        _warn_deprecated("topk_heads")
+        spec = QuerySpec(
+            entity=tail, relation=relation, direction="head", k=k,
+            entity_type=entity_type,
         )
+        return self.execute(spec).topk
 
     def _allowed_of_type(self, entity_type: str | None) -> frozenset[int] | None:
         if entity_type is None:
@@ -259,23 +313,26 @@ class QueryEngine:
         k: int,
         direction: str = "tail",
     ) -> "QueryExplain":
-        """Run a top-k query and report what the index did for it.
+        """Run a top-k query and report what the index did for it."""
+        return self.explain(
+            QuerySpec(entity=entity, relation=relation, direction=direction, k=k)
+        )
+
+    def explain(self, spec: QuerySpec) -> "QueryExplain":
+        """Run a top-k spec and report what the index did for it.
 
         Returns a :class:`QueryExplain` with the result, wall time, the
         index access counters attributable to this query, the splits it
         triggered, and the final query region — the EXPLAIN ANALYZE of
         the virtual knowledge graph.
         """
-        if direction not in ("tail", "head"):
-            raise QueryError("direction must be 'tail' or 'head'")
+        if spec.mode != "topk":
+            raise QueryError("explain() covers top-k specs only")
         with trace.span("engine.topk") as sp:
             before = self.index.counters.snapshot()
             splits_before = self.index.splits_performed
             start = time.perf_counter()
-            if direction == "tail":
-                result = self.topk_tails(entity, relation, k)
-            else:
-                result = self.topk_heads(entity, relation, k)
+            result = self._run_topk_spec(spec)
             elapsed = time.perf_counter() - start
             after = self.index.counters
             stats = self.index.stats()
@@ -291,7 +348,7 @@ class QueryEngine:
                 index_stats=stats,
             )
             if sp.is_recording:
-                sp.set_attribute("direction", direction)
+                sp.set_attribute("direction", spec.direction)
                 sp.set_attribute("internal_accesses", explain.internal_accesses)
                 sp.set_attribute("leaf_accesses", explain.leaf_accesses)
                 sp.set_attribute("splits_triggered", explain.splits_triggered)
@@ -313,7 +370,7 @@ class QueryEngine:
             sp.set_attribute("entities", len(probs))
         return probs
 
-    # -- aggregate queries ------------------------------------------------------
+    # -- aggregate queries (deprecated per-family wrappers) ----------------------
 
     def aggregate_tails(
         self,
@@ -323,15 +380,16 @@ class QueryEngine:
         attribute: str | None = None,
         **kwargs,
     ) -> AggregateEstimate:
-        """Aggregate over predicted tails of ``(head, relation, ?)``."""
-        exclude = frozenset(set(self.graph.tails(head, relation)) | {head})
-        return self._aggregates.estimate(
-            self.model.tail_query_point(head, relation),
-            kind,
-            attribute=attribute,
-            exclude=exclude,
-            **kwargs,
+        """Aggregate over predicted tails of ``(head, relation, ?)``.
+
+        .. deprecated:: use :meth:`execute` with a :class:`QuerySpec`.
+        """
+        _warn_deprecated("aggregate_tails")
+        spec = QuerySpec(
+            entity=head, relation=relation, direction="tail", mode="aggregate",
+            agg=kind, attribute=attribute, **kwargs,
         )
+        return self.execute(spec).aggregate
 
     def aggregate_heads(
         self,
@@ -341,12 +399,13 @@ class QueryEngine:
         attribute: str | None = None,
         **kwargs,
     ) -> AggregateEstimate:
-        """Aggregate over predicted heads of ``(?, relation, tail)``."""
-        exclude = frozenset(set(self.graph.heads(tail, relation)) | {tail})
-        return self._aggregates.estimate(
-            self.model.head_query_point(tail, relation),
-            kind,
-            attribute=attribute,
-            exclude=exclude,
-            **kwargs,
+        """Aggregate over predicted heads of ``(?, relation, tail)``.
+
+        .. deprecated:: use :meth:`execute` with a :class:`QuerySpec`.
+        """
+        _warn_deprecated("aggregate_heads")
+        spec = QuerySpec(
+            entity=tail, relation=relation, direction="head", mode="aggregate",
+            agg=kind, attribute=attribute, **kwargs,
         )
+        return self.execute(spec).aggregate

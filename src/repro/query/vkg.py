@@ -19,6 +19,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.query.aggregates import AggregateEstimate
 from repro.query.engine import EngineConfig, QueryEngine
 from repro.query.probability import InverseDistanceProbability
+from repro.query.spec import QuerySpec
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,7 +63,8 @@ class VirtualKnowledgeGraph:
         """
         h = self.graph.entities.id_of(head)
         r = self.graph.relations.id_of(relation)
-        result = self.engine.topk_tails(h, r, k, entity_type=tail_type)
+        spec = QuerySpec(entity=h, relation=r, direction="tail", k=k, entity_type=tail_type)
+        result = self.engine.execute(spec).topk
         probs = self.engine.probabilities(result)
         return [
             PredictedEdge(head, relation, self.graph.entities.name_of(e), p)
@@ -75,7 +77,8 @@ class VirtualKnowledgeGraph:
         """The top-k most likely new heads for ``(?, relation, tail)``."""
         t = self.graph.entities.id_of(tail)
         r = self.graph.relations.id_of(relation)
-        result = self.engine.topk_heads(t, r, k, entity_type=head_type)
+        spec = QuerySpec(entity=t, relation=r, direction="head", k=k, entity_type=head_type)
+        result = self.engine.execute(spec).topk
         probs = self.engine.probabilities(result)
         return [
             PredictedEdge(self.graph.entities.name_of(e), relation, tail, p)
@@ -136,7 +139,11 @@ class VirtualKnowledgeGraph:
             raise QueryError("give exactly one of head / tail")
         r = self.graph.relations.id_of(relation)
         if head is not None:
-            h = self.graph.entities.id_of(head)
-            return self.engine.aggregate_tails(h, r, kind, attribute, **kwargs)
-        t = self.graph.entities.id_of(tail)
-        return self.engine.aggregate_heads(t, r, kind, attribute, **kwargs)
+            anchor, direction = self.graph.entities.id_of(head), "tail"
+        else:
+            anchor, direction = self.graph.entities.id_of(tail), "head"
+        spec = QuerySpec(
+            entity=anchor, relation=r, direction=direction, mode="aggregate",
+            agg=kind, attribute=attribute, **kwargs,
+        )
+        return self.engine.execute(spec).aggregate

@@ -27,6 +27,9 @@ Standard injection points wired into the codebase:
 ``wal.append``              before a WAL record is written — raising
                             :class:`~repro.errors.WALError` simulates a failed
                             log write
+``shard.task``              inside a shard executor lane, before a per-shard
+                            task runs — the place to fault or delay a single
+                            shard of a scatter-gather query
 ==========================  ====================================================
 """
 

@@ -23,6 +23,13 @@ swaps in a fresh native index, verifies it, and resets to level 0.
 Rebuilding a cracking tree is nearly free (it *starts* unexpanded; the
 workload re-cracks it), which is the paper's disposability argument
 turned into a repair strategy.
+
+Sharded engines (:class:`repro.shard.ShardedEngine`) ride the same
+ladder: validation checks every shard tree against its live id set, the
+bulk rung installs one fresh bulk tree per shard (each swap runs on the
+shard's own serialized lane), and the native rebuild goes through
+``rebuild_native()``. The linear rung is shard-agnostic — it scans S1
+directly.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.index.bulkload import BulkLoadedRTree
 from repro.index.validation import check_invariants
 from repro.obs import trace
 from repro.obs.logging import get_logger
+from repro.query.spec import QuerySpec
 from repro.query.topk import TopKResult
 from repro.resilience import chaos
 
@@ -50,7 +58,11 @@ def validate_engine(engine) -> None:
 
     Raises :class:`~repro.errors.IndexError_` on any violation. Cheap
     enough to run on every suspect engine before it re-enters rotation.
+    A sharded engine validates every shard tree against its live id set.
     """
+    if getattr(engine, "is_sharded", False):
+        engine.check_shard_invariants()
+        return
     check_invariants(engine.index)
 
 
@@ -93,7 +105,12 @@ class DegradationLadder:
             state = self._states.get(key)
             if state is None:
                 state = self._states[key] = _EngineState()
-                self._specs[key] = _index_spec(engine.index)
+                # A sharded engine rebuilds through its own hooks (its
+                # "index" is a router, not a constructible tree).
+                self._specs[key] = (
+                    None if getattr(engine, "is_sharded", False)
+                    else _index_spec(engine.index)
+                )
             return state
 
     def level_of(self, engine) -> int:
@@ -117,8 +134,8 @@ class DegradationLadder:
 
     # -- guarded queries ---------------------------------------------------
 
-    def explain_topk(self, engine, entity: int, relation: int, k: int, direction: str):
-        """Guarded :meth:`~repro.query.engine.QueryEngine.explain_topk`.
+    def run_topk(self, engine, spec: QuerySpec):
+        """Guarded top-k for one :class:`~repro.query.spec.QuerySpec`.
 
         Returns ``(result, explain_or_None)`` — the explain report is
         unavailable on the linear rung.
@@ -128,42 +145,65 @@ class DegradationLadder:
         if state.level < 2:
             try:
                 chaos.fire("engine.topk")
-                explain = engine.explain_topk(entity, relation, k, direction)
+                explain = engine.explain(spec)
                 state.queries_since_downgrade += 1
                 return explain.result, explain
             except Exception as exc:
                 self._handle(engine, state, exc)
             if state.level < 2:  # retry once on the bulk rung
                 try:
-                    explain = engine.explain_topk(entity, relation, k, direction)
+                    explain = engine.explain(spec)
                     state.queries_since_downgrade += 1
                     return explain.result, explain
                 except Exception as exc:
                     self._handle(engine, state, exc)
         state.queries_since_downgrade += 1
-        return self._linear_topk(engine, entity, relation, k, direction), None
+        return (
+            self._linear_topk(
+                engine, spec.entity, spec.relation, spec.k, spec.direction,
+                spec.entity_type,
+            ),
+            None,
+        )
+
+    def explain_topk(self, engine, entity: int, relation: int, k: int, direction: str):
+        """Guarded top-k by coordinates; see :meth:`run_topk`."""
+        return self.run_topk(
+            engine,
+            QuerySpec(entity=entity, relation=relation, direction=direction, k=k),
+        )
 
     def topk_typed(
         self, engine, entity: int, relation: int, k: int, direction: str, entity_type: str
     ) -> TopKResult:
-        """Guarded type-filtered top-k (no explain on this path)."""
+        """Guarded type-filtered top-k."""
+        spec = QuerySpec(
+            entity=entity, relation=relation, direction=direction, k=k,
+            entity_type=entity_type,
+        )
+        return self.run_topk(engine, spec)[0]
+
+    def run_aggregate(self, engine, spec: QuerySpec):
+        """Guarded aggregate for one spec. The estimators need an index
+        contour, so the last rung rebuilds a throwaway bulk tree instead
+        of scanning."""
         state = self._state(engine)
         self._maybe_rebuild(engine, state)
         for _ in range(2):
             if state.level >= 2:
                 break
             try:
-                chaos.fire("engine.topk")
-                if direction == "tail":
-                    result = engine.topk_tails(entity, relation, k, entity_type)
-                else:
-                    result = engine.topk_heads(entity, relation, k, entity_type)
+                chaos.fire("engine.aggregate")
+                result = engine.execute(spec).aggregate
                 state.queries_since_downgrade += 1
                 return result
             except Exception as exc:
                 self._handle(engine, state, exc)
+        # Linear rung: aggregates run against a freshly built bulk tree
+        # (built from the store, which is the ground truth).
         state.queries_since_downgrade += 1
-        return self._linear_topk(engine, entity, relation, k, direction, entity_type)
+        self._install_fresh_bulk(engine)
+        return engine.execute(spec).aggregate
 
     def aggregate(
         self,
@@ -175,34 +215,12 @@ class DegradationLadder:
         direction: str,
         **kwargs,
     ):
-        """Guarded aggregate query. The estimators need an index contour,
-        so the last rung rebuilds a throwaway bulk tree instead of
-        scanning."""
-        state = self._state(engine)
-        self._maybe_rebuild(engine, state)
-        for _ in range(2):
-            if state.level >= 2:
-                break
-            try:
-                chaos.fire("engine.aggregate")
-                result = self._run_aggregate(engine, entity, relation, kind, attribute,
-                                             direction, **kwargs)
-                state.queries_since_downgrade += 1
-                return result
-            except Exception as exc:
-                self._handle(engine, state, exc)
-        # Linear rung: aggregates run against a freshly built bulk tree
-        # (built from the store, which is the ground truth).
-        state.queries_since_downgrade += 1
-        self._swap_index(engine, _fresh_bulk(engine))
-        return self._run_aggregate(engine, entity, relation, kind, attribute,
-                                   direction, **kwargs)
-
-    @staticmethod
-    def _run_aggregate(engine, entity, relation, kind, attribute, direction, **kwargs):
-        if direction == "tail":
-            return engine.aggregate_tails(entity, relation, kind, attribute, **kwargs)
-        return engine.aggregate_heads(entity, relation, kind, attribute, **kwargs)
+        """Guarded aggregate by coordinates; see :meth:`run_aggregate`."""
+        spec = QuerySpec(
+            entity=entity, relation=relation, direction=direction,
+            mode="aggregate", agg=kind, attribute=attribute, **kwargs,
+        )
+        return self.run_aggregate(engine, spec)
 
     # -- transitions -------------------------------------------------------
 
@@ -236,7 +254,7 @@ class DegradationLadder:
         if state.level == 1:
             # A fresh bulk tree over the same store answers identically;
             # the broken tree is simply dropped.
-            self._swap_index(engine, _fresh_bulk(engine))
+            self._install_fresh_bulk(engine)
 
     def _maybe_rebuild(self, engine, state: _EngineState) -> None:
         if (
@@ -255,19 +273,24 @@ class DegradationLadder:
         only on engines reclaimed from dead workers).
         """
         state = self._state(engine)
-        with self._lock:
-            cls, kwargs = self._specs[id(engine)]
-        fresh = cls(engine.index.store, **kwargs)
-        check_invariants(fresh)
-        self._swap_index(engine, fresh)
+        if getattr(engine, "is_sharded", False):
+            engine.rebuild_native()
+            variant = engine._variant_cls.__name__
+        else:
+            with self._lock:
+                cls, kwargs = self._specs[id(engine)]
+            fresh = cls(engine.index.store, **kwargs)
+            check_invariants(fresh)
+            self._swap_index(engine, fresh)
+            variant = cls.__name__
         state.level = 0
         state.queries_since_downgrade = 0
         state.last_error = ""
         self._increment("index_rebuilds")
         sp = trace.current_span()
         if sp is not None:
-            sp.add_event("degrade.rebuild", variant=cls.__name__)
-        _log.info("index rebuilt to native variant", variant=cls.__name__)
+            sp.add_event("degrade.rebuild", variant=variant)
+        _log.info("index rebuilt to native variant", variant=variant)
 
     def repair(self, engine) -> bool:
         """Validate a suspect engine; rebuild its index if broken.
@@ -287,6 +310,15 @@ class DegradationLadder:
     def _swap_index(engine, index) -> None:
         engine.index = index
         engine._aggregates.index = index
+
+    def _install_fresh_bulk(self, engine) -> None:
+        """Drop to bulk trees: per-shard for a sharded engine (one fresh
+        bulk tree per shard, swapped on each shard's own lane), one tree
+        otherwise."""
+        if getattr(engine, "is_sharded", False):
+            engine.install_indexes(engine.fresh_indexes(BulkLoadedRTree))
+        else:
+            self._swap_index(engine, _fresh_bulk(engine))
 
     # -- the last rung -----------------------------------------------------
 

@@ -52,15 +52,32 @@ class RecoveryReport:
         return "; ".join(parts)
 
 
-def recover_engine(directory: str | os.PathLike[str]):
+def recover_engine(
+    directory: str | os.PathLike[str],
+    shards: int | None = None,
+    scheme: str = "hash",
+    backend: str = "thread",
+):
     """Restore the engine in ``directory``: ``load_engine`` + WAL replay.
 
     Returns ``(engine, report)``. With no WAL present this degrades to a
     plain ``load_engine`` (and an empty report).
+
+    With ``shards`` given, the snapshot engine is re-sharded into a
+    :class:`~repro.shard.ShardedEngine` *before* replay, so replayed
+    inserts and re-index operations route through the shard router and
+    land in the owning shard's tree — recovery then restores per-shard
+    state, not a single tree that would need re-splitting afterwards.
     """
     from repro.persistence import load_engine
 
     engine = load_engine(directory)
+    if shards is not None and shards > 1:
+        from repro.shard import ShardedEngine
+
+        engine = ShardedEngine.from_engine(
+            engine, shards=shards, scheme=scheme, backend=backend
+        )
     report = replay_wal(engine, Path(directory) / WAL_FILENAME, _snapshot_lsn(directory))
     return engine, report
 

@@ -34,6 +34,7 @@ _COUNTERS = (
     "splits_triggered",
     "points_examined",
     "invalidations",
+    "shard_fanouts",
     # fault-tolerance accounting
     "degradations",
     "index_rebuilds",

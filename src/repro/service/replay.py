@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import DeadlineExceededError, QueueFullError, ReproError
+from repro.query.spec import QuerySpec
 
 
 @dataclass
@@ -117,12 +118,14 @@ def replay(
 
     def run_one(position: int) -> None:
         query = queries[position]
+        spec = QuerySpec(
+            entity=query.entity, relation=query.relation,
+            direction=query.direction, k=k,
+        )
         attempt = 0
         while True:
             try:
-                detail = service.topk_detail(
-                    query.entity, query.relation, k, query.direction, timeout=timeout
-                )
+                detail = service.execute(spec, timeout=timeout)
             except QueueFullError as exc:
                 with lock:
                     counters["rejected"] += 1

@@ -3,13 +3,23 @@
 :class:`QueryService` is the programmatic entry point: it owns an
 :class:`~repro.service.pool.EnginePool`, an LRU+TTL
 :class:`~repro.service.cache.ResultCache`, and a
-:class:`~repro.service.metrics.ServingMetrics` registry, and exposes
-``topk`` / ``aggregate`` calls that are safe to hammer from many
-threads. :func:`make_server` wraps a service in a
-``ThreadingHTTPServer`` JSON API:
+:class:`~repro.service.metrics.ServingMetrics` registry, and serves
+every query through one unified call — ``execute(spec)`` with a
+:class:`~repro.query.spec.QuerySpec` — that is safe to hammer from many
+threads (``topk`` / ``aggregate`` remain as thin conveniences over it).
+:func:`make_server` wraps a service in a ``ThreadingHTTPServer`` JSON
+API:
 
-- ``GET /topk?entity=..&relation=..&k=..&direction=..``
+- ``POST /v1/query`` (a JSON ``QuerySpec``; the one modern endpoint for
+  both query families, also reachable as ``GET /v1/query?...``). Every
+  ``/v1`` response is the ``{"result": ..., "meta": ..., "error": ...}``
+  envelope; failures carry a stable machine-readable ``error.code``
+  (``bad_request``, ``queue_full``, ``deadline_exceeded``,
+  ``circuit_open``, ``transient``, ``internal``).
+- ``GET /topk?entity=..&relation=..&k=..&direction=..`` (deprecated
+  alias; responds with a ``Deprecation: true`` header)
 - ``GET /aggregate?entity=..&relation=..&kind=..&attribute=..``
+  (deprecated alias, same header)
 - ``GET /metrics`` (plain text; ``?format=json`` for the snapshot,
   ``?format=prometheus`` for the Prometheus text exposition)
 - ``GET /healthz`` (per-engine degradation levels, worker heartbeats,
@@ -64,6 +74,7 @@ from repro.obs import trace
 from repro.obs.logging import get_logger
 from repro.obs.recorder import FlightRecorder
 from repro.query.engine import QueryEngine
+from repro.query.spec import DEFAULT_K, QuerySpec
 from repro.query.topk import TopKResult
 from repro.resilience import chaos
 from repro.resilience.breaker import CircuitBreaker
@@ -78,9 +89,14 @@ _log = get_logger("repro.service.server")
 
 @dataclass(frozen=True)
 class ServiceResult:
-    """One served top-k answer plus its serving-side provenance."""
+    """One served answer plus its serving-side provenance.
 
-    result: TopKResult
+    ``result`` is a :class:`~repro.query.topk.TopKResult` for top-k
+    specs and an :class:`~repro.query.aggregates.AggregateEstimate` for
+    aggregate specs.
+    """
+
+    result: TopKResult | object
     cached: bool
     elapsed_seconds: float
 
@@ -118,8 +134,20 @@ class QueryService:
             queue_depth=lambda: self.pool.queue_depth,
             cache_stats=self.cache.stats,
         )
+        # A concurrency-safe engine (the sharded scatter-gather engine,
+        # which serializes per shard internally) goes into the free-list
+        # once per worker: every worker can run queries on it at once
+        # instead of serializing on a single checkout.
+        self._sharded = getattr(self.engine, "is_sharded", False)
+        if (
+            len(engines) == 1
+            and getattr(self.engine, "concurrency_safe", False)
+        ):
+            pool_engines = [self.engine] * workers
+        else:
+            pool_engines = list(engines)
         self.pool = EnginePool(
-            list(engines),
+            pool_engines,
             workers=workers,
             max_queue=max_queue,
             on_queue_wait=self.metrics.record_queue_wait,
@@ -140,6 +168,8 @@ class QueryService:
             self.watchdog.start()
         self.metrics.register_gauge("breaker", self.breaker.snapshot)
         self.metrics.register_gauge("degradation", self.ladder.levels)
+        if self._sharded:
+            self.metrics.register_gauge("shards", self.engine.shard_stats)
         # Slow-query flight recorder: retains completed traces whose
         # end-to-end duration exceeds the threshold (only populated
         # while tracing is enabled). Served on /debug/traces.
@@ -171,11 +201,79 @@ class QueryService:
 
     # -- queries -----------------------------------------------------------
 
+    def execute(self, spec: QuerySpec, timeout: float | None = None) -> ServiceResult:
+        """Serve one :class:`~repro.query.spec.QuerySpec` — the unified
+        entry point both query families and every API generation route
+        through (cache → breaker → pool → ladder → engine).
+
+        Top-k specs in their canonical form (no type filter, no
+        per-query epsilon override) are cached; typed or
+        epsilon-overridden specs and all aggregate specs bypass the
+        cache (aggregates depend on continuous knobs like ``p_tau``).
+        """
+        if spec.mode == "aggregate":
+            return self._execute_aggregate(spec, timeout)
+        return self._execute_topk(spec, timeout)
+
+    def _execute_topk(self, spec: QuerySpec, timeout: float | None) -> ServiceResult:
+        with trace.span("service.topk") as sp:
+            sp.set_attribute("k", spec.k)
+            sp.set_attribute("direction", spec.direction)
+            start = time.perf_counter()
+            # Typed or epsilon-overridden queries are a different result
+            # space; only the canonical form is cached.
+            cacheable = spec.entity_type is None and spec.epsilon is None
+            key = (
+                QueryKey(spec.entity, spec.relation, spec.direction, spec.k)
+                if cacheable
+                else None
+            )
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    elapsed = time.perf_counter() - start
+                    self.metrics.record_request(elapsed, cache_hit=True)
+                    sp.set_attribute("cached", True)
+                    return ServiceResult(cached, True, elapsed)
+            sp.set_attribute("cached", False)
+            timeout = timeout if timeout is not None else self.default_timeout
+
+            def run(engine):
+                chaos.fire("service.query")
+                return self.ladder.run_topk(engine, spec)
+
+            result, explain = self._guarded(run, timeout)
+            if key is not None:
+                self.cache.put(key, result)
+            if self._sharded:
+                self.metrics.increment("shard_fanouts")
+            elapsed = time.perf_counter() - start
+            self.metrics.record_request(elapsed, cache_hit=False, explain=explain)
+            return ServiceResult(result, False, elapsed)
+
+    def _execute_aggregate(self, spec: QuerySpec, timeout: float | None) -> ServiceResult:
+        with trace.span("service.aggregate") as sp:
+            sp.set_attribute("kind", spec.agg)
+            sp.set_attribute("direction", spec.direction)
+            timeout = timeout if timeout is not None else self.default_timeout
+            start = time.perf_counter()
+
+            def run(engine):
+                chaos.fire("service.query")
+                return self.ladder.run_aggregate(engine, spec)
+
+            estimate = self._guarded(run, timeout)
+            if self._sharded:
+                self.metrics.increment("shard_fanouts")
+            elapsed = time.perf_counter() - start
+            self.metrics.record_request(elapsed, cache_hit=False)
+            return ServiceResult(estimate, False, elapsed)
+
     def topk(
         self,
         entity: int | str,
         relation: int | str,
-        k: int = 10,
+        k: int = DEFAULT_K,
         direction: str = "tail",
         timeout: float | None = None,
         entity_type: str | None = None,
@@ -189,52 +287,20 @@ class QueryService:
         self,
         entity: int | str,
         relation: int | str,
-        k: int = 10,
+        k: int = DEFAULT_K,
         direction: str = "tail",
         timeout: float | None = None,
         entity_type: str | None = None,
     ) -> ServiceResult:
         """Like :meth:`topk` but also reports cache provenance."""
-        with trace.span("service.topk") as sp:
-            sp.set_attribute("k", k)
-            sp.set_attribute("direction", direction)
-            entity = self._entity_id(entity)
-            relation = self._relation_id(relation)
-            start = time.perf_counter()
-            # Typed queries are a different result space; only the untyped
-            # form is cached.
-            key = (
-                QueryKey(entity, relation, direction, k) if entity_type is None else None
-            )
-            if key is not None:
-                cached = self.cache.get(key)
-                if cached is not None:
-                    elapsed = time.perf_counter() - start
-                    self.metrics.record_request(elapsed, cache_hit=True)
-                    sp.set_attribute("cached", True)
-                    return ServiceResult(cached, True, elapsed)
-            sp.set_attribute("cached", False)
-            timeout = timeout if timeout is not None else self.default_timeout
-
-            if entity_type is None:
-                def run(engine):
-                    chaos.fire("service.query")
-                    return self.ladder.explain_topk(engine, entity, relation, k, direction)
-            else:
-                def run(engine):
-                    chaos.fire("service.query")
-                    return (
-                        self.ladder.topk_typed(
-                            engine, entity, relation, k, direction, entity_type
-                        ),
-                        None,
-                    )
-            result, explain = self._execute(run, timeout)
-            if key is not None:
-                self.cache.put(key, result)
-            elapsed = time.perf_counter() - start
-            self.metrics.record_request(elapsed, cache_hit=False, explain=explain)
-            return ServiceResult(result, False, elapsed)
+        spec = QuerySpec(
+            entity=self._entity_id(entity),
+            relation=self._relation_id(relation),
+            direction=direction,
+            k=k,
+            entity_type=entity_type,
+        )
+        return self.execute(spec, timeout=timeout)
 
     def aggregate(
         self,
@@ -248,27 +314,20 @@ class QueryService:
     ):
         """Serve one aggregate query (never cached: the estimate depends
         on continuous knobs like ``p_tau`` and ``access_fraction``)."""
-        with trace.span("service.aggregate") as sp:
-            sp.set_attribute("kind", kind)
-            sp.set_attribute("direction", direction)
-            entity = self._entity_id(entity)
-            relation = self._relation_id(relation)
-            timeout = timeout if timeout is not None else self.default_timeout
-            start = time.perf_counter()
-
-            def run(engine):
-                chaos.fire("service.query")
-                return self.ladder.aggregate(
-                    engine, entity, relation, kind, attribute, direction, **kwargs
-                )
-
-            estimate = self._execute(run, timeout)
-            self.metrics.record_request(time.perf_counter() - start, cache_hit=False)
-            return estimate
+        spec = QuerySpec(
+            entity=self._entity_id(entity),
+            relation=self._relation_id(relation),
+            direction=direction,
+            mode="aggregate",
+            agg=kind,
+            attribute=attribute,
+            **kwargs,
+        )
+        return self.execute(spec, timeout=timeout).result
 
     # -- guarded execution -------------------------------------------------
 
-    def _execute(self, fn, timeout: float | None):
+    def _guarded(self, fn, timeout: float | None):
         """Run ``fn`` on a pooled engine behind the circuit breaker.
 
         The breaker records only *backend* failures: deadline misses,
@@ -356,6 +415,10 @@ class QueryService:
             trace.remove_listener(self.recorder.record)
             self.watchdog.stop()
             self.pool.shutdown()
+            if self._sharded:
+                # The service manages the sharded engine's lanes (and
+                # fork workers); stop them with the pool.
+                self.engine.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -377,6 +440,117 @@ def _status_of(exc: Exception) -> int:
     if isinstance(exc, ReproError) or isinstance(exc, (KeyError, ValueError)):
         return 400
     return 500
+
+
+#: Response headers marking the pre-``/v1`` endpoints (RFC 9745 style).
+_DEPRECATED = (("Deprecation", "true"),)
+
+
+def _error_code(exc: Exception) -> str:
+    """The stable machine-readable code for the ``/v1`` error envelope.
+
+    Codes are part of the API contract: clients branch on them (retry on
+    ``queue_full``/``transient``/``circuit_open``, fix the request on
+    ``bad_request``), so they never change even if exception class names
+    do. The HTTP status for a code is exactly what :func:`_status_of`
+    maps the exception to — the two API generations agree on statuses.
+    """
+    if isinstance(exc, QueueFullError):
+        return "queue_full"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded"
+    if isinstance(exc, CircuitOpenError):
+        return "circuit_open"
+    if isinstance(exc, TransientServiceError):
+        return "transient"
+    if isinstance(exc, ServiceError):
+        return "unavailable"
+    if isinstance(exc, ReproError) or isinstance(exc, (KeyError, ValueError)):
+        return "bad_request"
+    return "internal"
+
+
+def _ref_of(value) -> int | str:
+    """Entity/relation values accept a numeric id (int or digit string)
+    or a name."""
+    if isinstance(value, str):
+        return int(value) if value.lstrip("-").isdigit() else value
+    return int(value)
+
+
+def _spec_of(service: QueryService, params: dict) -> tuple[QuerySpec, float | None]:
+    """Build a :class:`QuerySpec` (plus the request timeout) from request
+    parameters — the one place where ``k``, ``epsilon`` and every other
+    query knob defaults, shared by ``/v1/query`` and the legacy aliases.
+
+    ``params`` values may be strings (query parameters) or native JSON
+    types (the ``/v1/query`` body); both spell the same spec.
+    """
+    for required in ("entity", "relation"):
+        if params.get(required) is None:
+            raise ValueError(f"{required} parameter is required")
+    entity = service._entity_id(_ref_of(params["entity"]))
+    relation = service._relation_id(_ref_of(params["relation"]))
+    direction = params.get("direction") or "tail"
+    timeout = float(params["timeout"]) if params.get("timeout") is not None else None
+    mode = params.get("mode") or (
+        "aggregate" if params.get("agg") or params.get("kind") else "topk"
+    )
+    if mode == "aggregate":
+        agg = params.get("agg") or params.get("kind")
+        if agg is None:
+            raise ValueError("agg (or legacy kind) parameter is required")
+        kwargs = {}
+        if params.get("p_tau") is not None:
+            kwargs["p_tau"] = float(params["p_tau"])
+        if params.get("access_fraction") is not None:
+            kwargs["access_fraction"] = float(params["access_fraction"])
+        if params.get("max_access") is not None:
+            kwargs["max_access"] = int(params["max_access"])
+        spec = QuerySpec(
+            entity=entity,
+            relation=relation,
+            direction=direction,
+            mode="aggregate",
+            agg=agg,
+            attribute=params.get("attribute"),
+            **kwargs,
+        )
+    else:
+        spec = QuerySpec(
+            entity=entity,
+            relation=relation,
+            direction=direction,
+            k=int(params["k"]) if params.get("k") is not None else DEFAULT_K,
+            entity_type=params.get("type") or params.get("entity_type"),
+            epsilon=float(params["epsilon"]) if params.get("epsilon") is not None else None,
+        )
+    return spec, timeout
+
+
+def _topk_payload(service: QueryService, result: TopKResult) -> dict:
+    """The top-k result body, shared verbatim between ``/v1/query``'s
+    ``result`` field and the legacy ``/topk`` response (which appends
+    its provenance fields inline)."""
+    graph = service.engine.graph
+    probabilities = service.engine.probabilities(result)
+    return {
+        "entities": list(result.entities),
+        "names": [graph.entities.name_of(e) for e in result.entities],
+        "distances": list(result.distances),
+        "probabilities": list(probabilities),
+    }
+
+
+def _aggregate_payload(estimate) -> dict:
+    """The aggregate result body, shared between API generations."""
+    return {
+        "kind": estimate.kind,
+        "value": float(estimate.value),
+        "accessed": int(estimate.accessed),
+        "ball_size": int(estimate.ball_size),
+        "p_tau": float(estimate.p_tau),
+    }
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -409,11 +583,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             status, {"error": type(exc).__name__, "detail": str(exc)}, headers
         )
 
+    def _send_v1_error(self, exc: Exception):
+        """The ``/v1`` error envelope: same statuses as the legacy
+        mapping, plus a stable ``error.code``."""
+        headers = []
+        if isinstance(exc, (QueueFullError, CircuitOpenError)):
+            headers.append(("Retry-After", f"{exc.retry_after:.3f}"))
+        self._send_json(
+            _status_of(exc),
+            {
+                "result": None,
+                "meta": {"api": "v1"},
+                "error": {"code": _error_code(exc), "message": str(exc)},
+            },
+            headers,
+        )
+
     # -- routing -----------------------------------------------------------
 
     def do_GET(self):  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         params = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        if url.path == "/v1/query":
+            self._route_v1(params)
+            return
         try:
             if url.path == "/topk":
                 with trace.span("http.request") as sp:
@@ -434,69 +627,71 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - mapped to a status code
             self._send_error_json(exc)
 
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        if url.path != "/v1/query":
+            self._send_json(404, {"error": "NotFound", "detail": url.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            params = json.loads(raw.decode("utf-8"))
+            if not isinstance(params, dict):
+                raise ValueError("the request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_v1_error(exc)
+            return
+        self._route_v1(params)
+
+    def _route_v1(self, params: dict) -> None:
+        try:
+            with trace.span("http.request") as sp:
+                sp.set_attribute("path", "/v1/query")
+                self._handle_v1_query(params)
+        except Exception as exc:  # noqa: BLE001 - mapped to a status code
+            self._send_v1_error(exc)
+
     # -- endpoints ---------------------------------------------------------
 
-    @staticmethod
-    def _ref(value: str) -> int | str:
-        """Entity/relation params accept either a numeric id or a name."""
-        return int(value) if value.lstrip("-").isdigit() else value
-
-    def _handle_topk(self, params: dict[str, str]) -> None:
-        if "entity" not in params or "relation" not in params:
-            raise ValueError("entity and relation parameters are required")
+    def _handle_v1_query(self, params: dict) -> None:
         service = self.server.service
-        detail = service.topk_detail(
-            self._ref(params["entity"]),
-            self._ref(params["relation"]),
-            k=int(params.get("k", "10")),
-            direction=params.get("direction", "tail"),
-            timeout=float(params["timeout"]) if "timeout" in params else None,
-            entity_type=params.get("type"),
-        )
-        result = detail.result
-        graph = service.engine.graph
-        probabilities = service.engine.probabilities(result)
+        spec, timeout = _spec_of(service, params)
+        detail = service.execute(spec, timeout=timeout)
         with trace.span("http.serialize"):
+            if spec.mode == "topk":
+                result = _topk_payload(service, detail.result)
+            else:
+                result = _aggregate_payload(detail.result)
             self._send_json(
                 200,
                 {
-                    "entities": list(result.entities),
-                    "names": [graph.entities.name_of(e) for e in result.entities],
-                    "distances": list(result.distances),
-                    "probabilities": list(probabilities),
-                    "cached": detail.cached,
-                    "elapsed_seconds": detail.elapsed_seconds,
+                    "result": result,
+                    "meta": {
+                        "api": "v1",
+                        "mode": spec.mode,
+                        "cached": detail.cached,
+                        "elapsed_seconds": detail.elapsed_seconds,
+                    },
+                    "error": None,
                 },
             )
 
-    def _handle_aggregate(self, params: dict[str, str]) -> None:
-        for required in ("entity", "relation", "kind"):
-            if required not in params:
-                raise ValueError(f"{required} parameter is required")
+    def _handle_topk(self, params: dict[str, str]) -> None:
         service = self.server.service
-        kwargs = {}
-        if "p_tau" in params:
-            kwargs["p_tau"] = float(params["p_tau"])
-        if "access_fraction" in params:
-            kwargs["access_fraction"] = float(params["access_fraction"])
-        estimate = service.aggregate(
-            self._ref(params["entity"]),
-            self._ref(params["relation"]),
-            params["kind"],
-            attribute=params.get("attribute"),
-            direction=params.get("direction", "tail"),
-            timeout=float(params["timeout"]) if "timeout" in params else None,
-            **kwargs,
-        )
+        spec, timeout = _spec_of(service, dict(params, mode="topk"))
+        detail = service.execute(spec, timeout=timeout)
+        with trace.span("http.serialize"):
+            payload = _topk_payload(service, detail.result)
+            payload["cached"] = detail.cached
+            payload["elapsed_seconds"] = detail.elapsed_seconds
+            self._send_json(200, payload, headers=_DEPRECATED)
+
+    def _handle_aggregate(self, params: dict[str, str]) -> None:
+        service = self.server.service
+        spec, timeout = _spec_of(service, dict(params, mode="aggregate"))
+        detail = service.execute(spec, timeout=timeout)
         self._send_json(
-            200,
-            {
-                "kind": estimate.kind,
-                "value": float(estimate.value),
-                "accessed": int(estimate.accessed),
-                "ball_size": int(estimate.ball_size),
-                "p_tau": float(estimate.p_tau),
-            },
+            200, _aggregate_payload(detail.result), headers=_DEPRECATED
         )
 
     def _handle_metrics(self, params: dict[str, str]) -> None:
@@ -624,7 +819,8 @@ def serve_forever(service: QueryService, host: str = "127.0.0.1", port: int = 80
     _log.info(
         "serving",
         url=f"http://{bound_host}:{bound_port}",
-        endpoints=["/topk", "/aggregate", "/metrics", "/healthz", "/debug/traces"],
+        endpoints=["/v1/query", "/topk", "/aggregate", "/metrics", "/healthz",
+                   "/debug/traces"],
         tracing=trace.enabled(),
     )
     try:

@@ -1,0 +1,17 @@
+"""Sharded scatter-gather execution (``repro.shard``).
+
+Partitions the S2 point store into N independent cracking R-trees and
+runs queries scatter-gather across a shard executor: each shard answers
+the query over its id subset, and an exact k-way merge reassembles the
+global answer. Because Algorithm 3 is exact over whatever id subset its
+tree indexes, the merged top-k is element-wise identical to what one
+tree over all points returns — sharding buys parallelism, never
+approximation.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.executor import ShardExecutor
+from repro.shard.merge import merge_topk
+from repro.shard.plan import ShardPlan
+
+__all__ = ["ShardPlan", "ShardExecutor", "ShardedEngine", "merge_topk"]

@@ -1,0 +1,94 @@
+"""Shard assignment: which entity id lives in which shard tree.
+
+Two schemes:
+
+- ``hash`` — ``id % num_shards``. Stateless, balanced for dense id
+  spaces, and new entities route without consulting geometry.
+- ``kd`` — contiguous quantile slabs along the first S2 coordinate
+  (a 1-cut KD split). Preserves spatial locality, so a query region
+  often misses whole shards; the cut coordinates are stored so new
+  points route by geometry.
+
+A plan is immutable; the live id→shard assignment (which grows as
+entities are added) lives in the sharded engine's router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+SCHEMES = ("hash", "kd")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """An immutable shard-assignment rule."""
+
+    num_shards: int
+    scheme: str = "hash"
+    #: kd scheme only: the ``num_shards - 1`` cut coordinates along the
+    #: first S2 axis; shard i covers ``boundaries[i-1] <= x < boundaries[i]``.
+    boundaries: tuple[float, ...] | None = None
+
+    @classmethod
+    def build(
+        cls, num_shards: int, scheme: str = "hash", coords: np.ndarray | None = None
+    ) -> "ShardPlan":
+        """Build a plan. The ``kd`` scheme derives its cut coordinates
+        from ``coords`` (the current S2 point matrix)."""
+        if num_shards < 1:
+            raise IndexError_("num_shards must be >= 1")
+        if scheme not in SCHEMES:
+            raise IndexError_(f"unknown shard scheme {scheme!r}; expected one of {SCHEMES}")
+        if scheme == "hash":
+            return cls(num_shards=num_shards, scheme="hash")
+        if coords is None:
+            raise IndexError_("kd sharding needs the point coordinates")
+        coords = np.asarray(coords, dtype=np.float64)
+        if len(coords) < num_shards:
+            raise IndexError_(
+                f"cannot kd-split {len(coords)} points into {num_shards} shards"
+            )
+        # Quantile cuts on the first coordinate: equal-population slabs.
+        quantiles = np.arange(1, num_shards) / num_shards
+        cuts = np.quantile(coords[:, 0], quantiles)
+        return cls(num_shards=num_shards, scheme="kd", boundaries=tuple(float(c) for c in cuts))
+
+    def assign(self, ident: int, point: np.ndarray | None = None) -> int:
+        """Shard of one entity (``point`` required for the kd scheme)."""
+        if self.scheme == "hash":
+            return int(ident) % self.num_shards
+        if point is None:
+            raise IndexError_("kd assignment needs the entity's S2 point")
+        return int(np.searchsorted(np.asarray(self.boundaries), float(point[0]), side="right"))
+
+    def assign_many(self, ids: np.ndarray, coords: np.ndarray | None = None) -> np.ndarray:
+        """Vectorised :meth:`assign` over an id array."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if self.scheme == "hash":
+            return (ids % self.num_shards).astype(np.int32)
+        if coords is None:
+            raise IndexError_("kd assignment needs the S2 coordinates")
+        values = np.asarray(coords, dtype=np.float64)[ids, 0]
+        return np.searchsorted(np.asarray(self.boundaries), values, side="right").astype(np.int32)
+
+    def partition(self, ids: np.ndarray, coords: np.ndarray | None = None) -> list[np.ndarray]:
+        """Split ``ids`` into per-shard id arrays, all non-empty.
+
+        Empty shards are a hard error: a shard tree cannot index zero
+        points, and a plan that produces one (too few points, or a
+        degenerate kd axis) should fail loudly at build time.
+        """
+        assignment = self.assign_many(ids, coords)
+        groups = [np.asarray(ids)[assignment == shard] for shard in range(self.num_shards)]
+        for shard, group in enumerate(groups):
+            if len(group) == 0:
+                raise IndexError_(
+                    f"shard {shard} would be empty; use fewer shards or the "
+                    f"other scheme ({len(ids)} points, {self.num_shards} shards)"
+                )
+        return groups

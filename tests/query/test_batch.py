@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ServiceError
 from repro.query.batch import BatchQuery, run_batch
+from repro.query.spec import QuerySpec
 
 
 @pytest.fixture
@@ -55,3 +56,34 @@ def test_batch_validates_direction(engine, dataset):
 def test_batch_counts_points(engine, queries):
     report = run_batch(engine, queries, k=3)
     assert report.points_examined > 0
+
+
+def test_batch_accepts_specs_with_their_own_k(engine, dataset):
+    graph, world = dataset
+    likes = graph.relations.id_of("likes")
+    users = world.members("user")[:3]
+    items = [
+        QuerySpec(entity=users[0], relation=likes, k=7),
+        BatchQuery(users[1], likes, "tail"),
+        QuerySpec(entity=users[2], relation=likes, direction="head", k=2),
+    ]
+    report = run_batch(engine, items, k=4)
+    assert len(report.results[0].entities) == 7  # spec keeps its own k
+    assert len(report.results[1].entities) == 4  # BatchQuery takes the arg
+    assert len(report.results[2].entities) == 2
+
+
+def test_batch_rejects_aggregate_specs(engine, dataset):
+    graph, world = dataset
+    likes = graph.relations.id_of("likes")
+    agg = QuerySpec(
+        entity=world.members("user")[0], relation=likes, mode="aggregate",
+        agg="count",
+    )
+    with pytest.raises(ServiceError, match="top-k specs only"):
+        run_batch(engine, [agg], k=3)
+
+
+def test_batch_rejects_foreign_items(engine):
+    with pytest.raises(QueryError, match="BatchQuery or QuerySpec"):
+        run_batch(engine, [("user:0", "likes")], k=3)

@@ -1,0 +1,83 @@
+"""Chaos acceptance for the sharded engine: faults never change answers.
+
+The sharded twin of ``test_chaos_acceptance.py``: a 4-thread replay of
+500 queries against a service over a 4-shard scatter-gather engine,
+running under the standard seeded chaos schedule *plus* per-shard task
+latency, must return results element-wise identical to a fault-free
+sequential single-tree baseline. Engines run at ``epsilon=1.0``, where
+both execution shapes sit on the exhaustive answer (see
+``tests/shard/conftest.py``), so identity is crack-state- and
+order-independent.
+"""
+
+from repro.bench.resilience import default_schedule
+from repro.bench.workloads import make_workload
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.query.spec import QuerySpec
+from repro.resilience.chaos import activate
+from repro.resilience.retry import RetryPolicy
+from repro.service.replay import replay
+from repro.service.server import QueryService
+from repro.shard import ShardedEngine
+
+
+def test_sharded_chaos_replay_is_answer_preserving(dataset):
+    graph, world = dataset
+    model = PretrainedEmbedding.from_world(graph, world, dim=32, seed=0)
+
+    def exact_engine():
+        return QueryEngine.from_graph(
+            graph, EngineConfig(index="cracking", epsilon=1.0), model=model
+        )
+
+    workload = make_workload(graph, 500, seed=23, skew=0.0)
+    baseline_engine = exact_engine()
+    expected = [
+        baseline_engine.execute(
+            QuerySpec(entity=q.entity, relation=q.relation, direction=q.direction, k=5)
+        ).topk
+        for q in workload
+    ]
+
+    controller = default_schedule(seed=7)
+    # Exercise the shard lanes too: slow single shards must only cost
+    # latency (the merge waits), never answers.
+    controller.on("shard.task", delay=0.002, probability=0.01, after=50, max_fires=10)
+    retry = RetryPolicy(seed=7)
+    sharded = ShardedEngine.from_engine(exact_engine(), shards=4, backend="thread")
+    with activate(controller):
+        with QueryService(
+            sharded,
+            workers=4,
+            max_queue=256,
+            watchdog_interval=0.05,
+            cache_capacity=1,
+        ) as service:
+            # Hold the ladder below its rebuild rung for the whole replay
+            # (same reasoning as the single-tree acceptance test).
+            service.ladder.rebuild_after = len(workload) + 1
+            report = replay(service, workload, k=5, threads=4, retry=retry)
+            snap = service.metrics_snapshot()
+            health = service.health()
+
+    # The schedule really happened.
+    kills = controller.fired("pool.worker") + controller.fired("pool.worker.dirty")
+    assert kills >= 1
+    assert controller.fired("service.query") >= 5
+    assert controller.fired("engine.topk") == 1
+    assert controller.fired("shard.task") >= 1
+
+    counters = snap["counters"]
+    assert counters["degradations"] >= 1
+    assert counters["shard_fanouts"] > 0
+
+    # Not a single answer lost or changed.
+    assert report.completed == report.total == 500
+    assert report.errors == 0 and report.deadline_exceeded == 0
+    for position, (got, want) in enumerate(zip(report.results, expected)):
+        assert got.entities == want.entities, f"query #{position} diverged"
+        assert got.distances == want.distances, f"query #{position} distances diverged"
+
+    assert health["status"] in ("ok", "degraded")
+    assert snap["gauges"]["shards"]["shards"] == 4

@@ -1,0 +1,68 @@
+"""Fixtures for the sharded scatter-gather tests.
+
+Same deterministic MovieLens-like world as the query/service tests.
+Engines default to ``epsilon=1.0``: on this dataset that recall band is
+wide enough that cracking top-k equals the exhaustive answer, so
+single-vs-sharded comparisons are element-wise *identity* invariants,
+independent of crack state and query order.
+"""
+
+import pytest
+
+from repro.embedding.pretrained import PretrainedEmbedding
+from repro.kg.generators import movielens_like
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.shard import ShardedEngine
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return movielens_like(
+        num_users=120,
+        num_movies=260,
+        num_genres=8,
+        num_tags=24,
+        num_ratings=2400,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def model(dataset):
+    graph, world = dataset
+    return PretrainedEmbedding.from_world(graph, world, dim=32, seed=0)
+
+
+@pytest.fixture
+def make_engine(dataset, model):
+    def factory(epsilon: float = 1.0, index: str = "cracking") -> QueryEngine:
+        graph, _ = dataset
+        return QueryEngine.from_graph(
+            graph, EngineConfig(index=index, epsilon=epsilon), model=model
+        )
+
+    return factory
+
+
+@pytest.fixture
+def make_sharded(make_engine):
+    """Factory for sharded engines; every engine built through it is
+    closed (lanes joined, fork workers reaped) at teardown."""
+    built = []
+
+    def factory(
+        shards: int = 4,
+        scheme: str = "hash",
+        backend: str = "thread",
+        epsilon: float = 1.0,
+    ) -> ShardedEngine:
+        engine = ShardedEngine.from_engine(
+            make_engine(epsilon=epsilon), shards=shards, scheme=scheme,
+            backend=backend,
+        )
+        built.append(engine)
+        return engine
+
+    yield factory
+    for engine in built:
+        engine.close()

@@ -1,0 +1,126 @@
+"""THE sharding acceptance test: scatter-gather changes nothing.
+
+At ``epsilon=1.0`` (the fixtures' default) every engine on this dataset
+returns the exhaustive top-k, so a sharded engine must match the
+single-tree engine *element-wise* — entities, distances, final radius
+and query region — on every query of a 500-query replay, for both id
+schemes and both executor backends, and every aggregate estimate must
+be identical too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import make_workload
+from repro.query.spec import QuerySpec
+
+
+def _specs(graph, n, k=5, seed=23):
+    workload = make_workload(graph, n, seed=seed, skew=0.0)
+    return [
+        QuerySpec(entity=q.entity, relation=q.relation, direction=q.direction, k=k)
+        for q in workload
+    ]
+
+
+def _assert_same_topk(got, want):
+    assert got.entities == want.entities
+    assert got.distances == want.distances
+    assert got.final_radius == want.final_radius
+    if want.query_region is None:
+        assert got.query_region is None
+    else:
+        assert np.array_equal(got.query_region.lower, want.query_region.lower)
+        assert np.array_equal(got.query_region.upper, want.query_region.upper)
+
+
+def test_topk_parity_500_queries_hash(dataset, make_engine, make_sharded):
+    graph, _ = dataset
+    single = make_engine()
+    sharded = make_sharded(shards=4, scheme="hash")
+    for position, spec in enumerate(_specs(graph, 500)):
+        want = single.execute(spec).topk
+        got = sharded.execute(spec).topk
+        try:
+            _assert_same_topk(got, want)
+        except AssertionError:
+            pytest.fail(f"query #{position} diverged: {spec}")
+
+
+def test_topk_parity_kd_scheme(dataset, make_engine, make_sharded):
+    graph, _ = dataset
+    single = make_engine()
+    sharded = make_sharded(shards=3, scheme="kd")
+    for spec in _specs(graph, 150, seed=7):
+        _assert_same_topk(sharded.execute(spec).topk, single.execute(spec).topk)
+
+
+def test_topk_parity_fork_backend(dataset, make_engine, make_sharded):
+    graph, _ = dataset
+    single = make_engine()
+    sharded = make_sharded(shards=4, backend="fork")
+    for spec in _specs(graph, 100, seed=13):
+        _assert_same_topk(sharded.execute(spec).topk, single.execute(spec).topk)
+
+
+def test_typed_topk_parity(dataset, make_engine, make_sharded):
+    graph, world = dataset
+    single = make_engine()
+    sharded = make_sharded(shards=4)
+    likes = graph.relations.id_of("likes")
+    for user in world.members("user")[:20]:
+        spec = QuerySpec(
+            entity=user, relation=likes, k=5, entity_type="movie"
+        )
+        _assert_same_topk(sharded.execute(spec).topk, single.execute(spec).topk)
+
+
+def test_points_examined_sums_over_shards(dataset, make_engine, make_sharded):
+    """The one field allowed to differ — it counts work, not answers."""
+    graph, _ = dataset
+    single = make_engine()
+    sharded = make_sharded(shards=4)
+    spec = _specs(graph, 1)[0]
+    assert sharded.execute(spec).topk.points_examined >= single.execute(
+        spec
+    ).topk.points_examined
+
+
+def test_aggregate_parity(dataset, make_engine, make_sharded):
+    graph, world = dataset
+    single = make_engine()
+    sharded = make_sharded(shards=4)
+    likes = graph.relations.id_of("likes")
+    cases = [
+        ("count", None, 0.2),
+        ("sum", "year", 0.1),
+        ("avg", "year", 0.1),
+        ("max", "year", 0.1),
+        ("min", "year", 0.1),
+    ]
+    for user in world.members("user")[:10]:
+        for kind, attribute, p_tau in cases:
+            spec = QuerySpec(
+                entity=user, relation=likes, mode="aggregate",
+                agg=kind, attribute=attribute, p_tau=p_tau,
+            )
+            want = single.execute(spec).aggregate
+            got = sharded.execute(spec).aggregate
+            assert got.kind == want.kind
+            assert got.value == want.value
+            assert got.ball_size == want.ball_size
+            assert got.accessed == want.accessed
+
+
+def test_shard_stats_reflect_query_traffic(dataset, make_sharded):
+    graph, _ = dataset
+    sharded = make_sharded(shards=4)
+    for spec in _specs(graph, 20, seed=3):
+        sharded.execute(spec)
+    stats = sharded.shard_stats()
+    assert stats["shards"] == 4
+    assert stats["queries"] == 20
+    assert sum(stats["sizes"]) == sharded.index.store.size
+    assert sum(stats["points_examined"]) > 0
+    assert stats["points_skew"] >= 1.0
+    assert stats["busy_skew"] >= 1.0
